@@ -1,0 +1,1 @@
+bench/ablation.ml: Bench_util Bitvec Circuit Dstress_costmodel Dstress_crypto Dstress_graphgen Dstress_risk Dstress_runtime Gmw List Ot_ext Printf Prng Traffic

@@ -1,0 +1,1 @@
+bench/baseline_bench.ml: Bench_util Dstress_baseline Dstress_costmodel List Printf

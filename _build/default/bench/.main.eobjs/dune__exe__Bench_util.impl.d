@@ -1,0 +1,1 @@
+bench/bench_util.ml: Dstress_circuit Dstress_crypto Dstress_mpc Dstress_runtime Dstress_util Hashtbl List Printf Unix

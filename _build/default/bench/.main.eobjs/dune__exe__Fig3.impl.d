@@ -1,0 +1,1 @@
+bench/fig3.ml: Bench_util Bitvec Dstress_mpc Dstress_risk Group List Prg Printf Vertex_program

@@ -1,0 +1,1 @@
+bench/fig5.ml: Array Bench_util Dstress_graphgen Dstress_mpc Dstress_risk Dstress_runtime List Printf Prng

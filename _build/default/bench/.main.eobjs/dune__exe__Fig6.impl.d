@@ -1,0 +1,1 @@
+bench/fig6.ml: Bench_util Dstress_costmodel Dstress_graphgen Dstress_mpc Dstress_risk Dstress_runtime Format List Printf Prng

@@ -1,0 +1,1 @@
+bench/main.ml: Ablation Array Baseline_bench Fig3 Fig5 Fig6 List Micro Printf Privacy_bench String Sys Transfer_bench Unix

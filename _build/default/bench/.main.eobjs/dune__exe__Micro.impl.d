@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Bench_util Benchmark Bytes Dstress_bignum Dstress_crypto Group Hashtbl List Measure Prg Printf Staged Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/privacy_bench.ml: Bench_util Dstress_costmodel Dstress_graphgen Dstress_risk Dstress_transfer Float Format List Printf Prng

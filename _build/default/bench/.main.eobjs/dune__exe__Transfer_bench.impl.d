@@ -1,0 +1,1 @@
+bench/transfer_bench.ml: Array Bench_util Bitvec Dstress_crypto Dstress_mpc Dstress_transfer Group List Prg Printf Prng Traffic

@@ -1,0 +1,69 @@
+(* Shared plumbing for the figure-reproduction harness. *)
+
+module Bitvec = Dstress_util.Bitvec
+module Prng = Dstress_util.Prng
+module Prg = Dstress_crypto.Prg
+module Group = Dstress_crypto.Group
+module Ot_ext = Dstress_crypto.Ot_ext
+module Circuit = Dstress_circuit.Circuit
+module Gmw = Dstress_mpc.Gmw
+module Traffic = Dstress_mpc.Traffic
+module Vertex_program = Dstress_runtime.Vertex_program
+
+let grp = Group.by_name "toy"
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let mb bytes = float_of_int bytes /. 1048576.0
+
+let header title =
+  Printf.printf "\n=== %s ===\n%!" title
+
+let subheader title = Printf.printf "--- %s ---\n%!" title
+
+(* Evaluate one circuit under GMW with [block] parties on random shared
+   inputs; returns (simulated seconds, per-party mean bytes). The
+   simulated time serializes all parties; the per-party wall-clock
+   estimate divides the pairwise work among the block. *)
+type mpc_point = {
+  block : int;
+  sim_seconds : float;
+  per_party_seconds : float;
+  per_party_mb : float;
+  ands : int;
+}
+
+let run_mpc_circuit ?(seed = "bench") circuit ~block =
+  let session = Gmw.create_session ~mode:Ot_ext.Simulation grp ~parties:block ~seed in
+  let prng = Prng.of_int (Hashtbl.hash seed) in
+  let inputs = Bitvec.random prng circuit.Circuit.num_inputs in
+  let input_shares = Gmw.share_input session inputs in
+  let _, sim_seconds = time (fun () -> ignore (Gmw.eval session circuit ~input_shares)) in
+  let traffic = Gmw.traffic session in
+  {
+    block;
+    sim_seconds;
+    per_party_seconds = sim_seconds *. 2.0 /. float_of_int block;
+    per_party_mb = Traffic.mean_per_node traffic /. 1048576.0;
+    ands = Circuit.and_count circuit;
+  }
+
+let print_mpc_table ~label points =
+  Printf.printf "%-28s %8s %10s %12s %12s %10s\n" label "block" "ANDs" "sim time" "time/party"
+    "MB/party";
+  List.iter
+    (fun p ->
+      Printf.printf "%-28s %8d %10d %10.2f s %10.2f s %10.3f\n" "" p.block p.ands
+        p.sim_seconds p.per_party_seconds p.per_party_mb)
+    points;
+  print_newline ()
+
+(* Linear-shape check used in the printed commentary: ratio of the cost
+   at the largest parameter to the smallest, versus the parameter ratio. *)
+let growth_factor points value =
+  match (points, List.rev points) with
+  | first :: _, last :: _ -> value last /. value first
+  | _ -> nan

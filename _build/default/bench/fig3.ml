@@ -1,0 +1,92 @@
+(* Figures 3 and 4: microbenchmarks of the five MPC circuit types.
+
+   Left side: cost vs block size at fixed shape (EN/EGJ step at D = 100,
+   aggregation at N = 100, noising). Right side: cost vs degree bound D
+   and vs aggregation width N at fixed block size. Each run reports both
+   computation time (Figure 3) and per-node traffic (Figure 4), since one
+   execution yields both measurements. *)
+
+open Bench_util
+module En_program = Dstress_risk.En_program
+module Egj_program = Dstress_risk.Egj_program
+
+let l = 12
+
+let en_step_circuit ~d =
+  let p = En_program.make ~l ~degree:d ~iterations:1 () in
+  Vertex_program.update_circuit p ~degree:d
+
+let egj_step_circuit ~d =
+  let p = Egj_program.make ~l ~frac:6 ~degree:d ~iterations:1 () in
+  Vertex_program.update_circuit p ~degree:d
+
+let agg_circuit ~n =
+  let p = En_program.make ~l ~degree:1 ~iterations:1 () in
+  Vertex_program.aggregate_circuit p ~count:n
+
+let noising_circuit ~magnitude =
+  let p = En_program.make ~noise_max:magnitude ~l ~degree:1 ~iterations:1 () in
+  Vertex_program.combine_circuit p ~count:1 ~noised:true
+
+(* The initialization step is not an MPC in this implementation: each node
+   locally XOR-shares its state and D no-op messages and sends one share
+   per block member. We report its (tiny) local cost and traffic for
+   completeness. *)
+let init_point ~d ~block =
+  let bits = En_program.state_bits ~l ~degree:d + (d * l) in
+  let prg = Prg.of_string "bench-init" in
+  let v = Prg.bits prg bits in
+  let (_ : Bitvec.t array), seconds =
+    time (fun () -> Dstress_mpc.Sharing.share prg ~parties:block v)
+  in
+  let bytes = (block - 1) * (((bits + 7) / 8) + Group.element_bytes grp) in
+  { block; sim_seconds = seconds; per_party_seconds = seconds;
+    per_party_mb = mb bytes; ands = 0 }
+
+let left ~quick () =
+  header "Figure 3 (left) + Figure 4: MPC cost vs block size";
+  let blocks = if quick then [ 4; 8; 12 ] else [ 8; 12; 16; 20 ] in
+  let d = if quick then 30 else 100 in
+  let n_agg = if quick then 40 else 100 in
+  let magnitude = if quick then 200 else 600 in
+  Printf.printf "(parameters: L=%d, D=%d for steps, N=%d for aggregation)\n" l d n_agg;
+  let bench label circuit =
+    let points = List.map (fun block -> run_mpc_circuit circuit ~block) blocks in
+    print_mpc_table ~label points;
+    let g = growth_factor points (fun p -> p.per_party_seconds) in
+    Printf.printf "  -> per-party time growth x%.1f across block sizes (paper: roughly linear)\n\n" g
+  in
+  (* Initialization is local sharing in this implementation (the paper
+     runs it as a small MPC); its cost is reported directly. *)
+  Printf.printf "%-28s %8s %12s %12s\n" "Initialization (share)" "block" "time" "MB/node";
+  List.iter
+    (fun block ->
+      let p = init_point ~d ~block in
+      Printf.printf "%-28s %8d %10.4f s %10.4f\n" "" block p.sim_seconds p.per_party_mb)
+    blocks;
+  print_newline ();
+  bench (Printf.sprintf "EN step (D=%d)" d) (en_step_circuit ~d);
+  bench (Printf.sprintf "EGJ step (D=%d)" d) (egj_step_circuit ~d);
+  bench (Printf.sprintf "Aggregation (N=%d)" n_agg) (agg_circuit ~n:n_agg);
+  bench "Noising" (noising_circuit ~magnitude)
+
+let right ~quick () =
+  header "Figure 3 (right): MPC step cost vs degree bound and network size";
+  let block = if quick then 8 else 20 in
+  let ds = if quick then [ 10; 25; 40 ] else [ 10; 40; 70; 100 ] in
+  let ns = if quick then [ 25; 50; 75 ] else [ 50; 100; 150; 200 ] in
+  Printf.printf "(block size %d)\n\n" block;
+  let table label circuits param_name params =
+    Printf.printf "%-24s %8s %10s %12s %12s\n" label param_name "ANDs" "sim time" "time/party";
+    List.iter2
+      (fun param circuit ->
+        let p = run_mpc_circuit circuit ~block in
+        Printf.printf "%-24s %8d %10d %10.2f s %10.2f s\n" "" param p.ands p.sim_seconds
+          p.per_party_seconds)
+      params circuits;
+    print_newline ()
+  in
+  table "EN step" (List.map (fun d -> en_step_circuit ~d) ds) "D" ds;
+  table "EGJ step" (List.map (fun d -> egj_step_circuit ~d) ds) "D" ds;
+  table "Aggregation" (List.map (fun n -> agg_circuit ~n) ns) "N" ns;
+  Printf.printf "Shape target: near-linear growth in D and in N (paper Fig. 3 right).\n"

@@ -1,0 +1,52 @@
+(* DStress benchmark harness: regenerates every table and figure of the
+   paper's evaluation section (see DESIGN.md §4 for the experiment index).
+
+   Usage:
+     dune exec bench/main.exe                 -- run everything
+     dune exec bench/main.exe -- --quick      -- smaller parameters
+     dune exec bench/main.exe -- fig5 fig6    -- selected experiments
+     dune exec bench/main.exe -- --list       -- list experiment names *)
+
+let experiments : (string * string * (quick:bool -> unit -> unit)) list =
+  [
+    ("micro", "Bechamel microbenchmarks of the crypto primitives", Micro.run);
+    ("fig3-left", "Fig 3 (left) + Fig 4: MPC cost vs block size", Fig3.left);
+    ("fig3-right", "Fig 3 (right): MPC cost vs D and N", Fig3.right);
+    ("transfer-micro", "§5.2: transfer latency vs block size", Transfer_bench.latency);
+    ("transfer-traffic", "§5.3: transfer traffic by role", Transfer_bench.traffic_roles);
+    ("transfer-ablation", "§3.5: strawman protocol ablation", Transfer_bench.strawman_ablation);
+    ("fig5", "Fig 5: end-to-end EN/EGJ runs vs block size", Fig5.run);
+    ("fig6", "Fig 6: scalability projection + validation", Fig6.run);
+    ("baseline", "§5.5: monolithic-MPC baseline", Baseline_bench.run);
+    ("utility", "§4.5: utility analysis", Privacy_bench.utility);
+    ("appendix-b", "Appendix B: edge-privacy budget", Privacy_bench.appendix_b);
+    ("appendix-c", "Appendix C: contagion scenarios", Privacy_bench.appendix_c);
+    ("ablation-aggregation", "§3.6: aggregation tree ablation", Ablation.aggregation);
+    ("ablation-buckets", "§3.7: degree bucketing ablation", Ablation.degree_bucketing);
+    ("2pc-comparison", "§6: garbled circuits vs GMW", Ablation.twopc);
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let quick = List.mem "--quick" args in
+  let listed = List.mem "--list" args in
+  let selected = List.filter (fun a -> not (String.length a >= 2 && String.sub a 0 2 = "--")) args in
+  if listed then begin
+    List.iter (fun (name, descr, _) -> Printf.printf "%-22s %s\n" name descr) experiments;
+    exit 0
+  end;
+  let unknown = List.filter (fun s -> not (List.exists (fun (n, _, _) -> n = s) experiments)) selected in
+  if unknown <> [] then begin
+    Printf.eprintf "unknown experiment(s): %s (try --list)\n" (String.concat ", " unknown);
+    exit 1
+  end;
+  let to_run =
+    if selected = [] then experiments
+    else List.filter (fun (n, _, _) -> List.mem n selected) experiments
+  in
+  let t0 = Unix.gettimeofday () in
+  Printf.printf "DStress benchmark harness (%s mode, %d experiment(s))\n"
+    (if quick then "quick" else "full")
+    (List.length to_run);
+  List.iter (fun (_, _, f) -> f ~quick ()) to_run;
+  Printf.printf "\nAll benchmarks finished in %.1f s.\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,235 @@
+(* The dstress command-line tool: run private stress tests on synthetic
+   banking networks, inspect the privacy accounting, and produce
+   scalability projections. `dstress --help` lists the commands. *)
+
+open Cmdliner
+module Prng = Dstress_util.Prng
+module Group = Dstress_crypto.Group
+module Graph = Dstress_runtime.Graph
+module Engine = Dstress_runtime.Engine
+module Reference = Dstress_risk.Reference
+module En_program = Dstress_risk.En_program
+module Egj_program = Dstress_risk.Egj_program
+module Topology = Dstress_graphgen.Topology
+module Banking = Dstress_graphgen.Banking
+module Projection = Dstress_costmodel.Projection
+module Utility = Dstress_costmodel.Utility
+module Edge_privacy = Dstress_transfer.Edge_privacy
+module Matmul = Dstress_baseline.Matmul
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"INT" ~doc:"PRNG seed for the run.")
+
+let group_arg =
+  Arg.(
+    value
+    & opt (enum [ ("toy", "toy"); ("medium", "medium"); ("standard", "standard") ]) "toy"
+    & info [ "group" ] ~docv:"NAME"
+        ~doc:"ElGamal group size: toy (64-bit, fast), medium (128), standard (256).")
+
+let k_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "k" ] ~docv:"INT" ~doc:"Collusion bound; blocks have k+1 members.")
+
+let core_arg =
+  Arg.(value & opt int 3 & info [ "core" ] ~docv:"INT" ~doc:"Core banks in the network.")
+
+let periphery_arg =
+  Arg.(
+    value & opt int 5 & info [ "periphery" ] ~docv:"INT" ~doc:"Peripheral (regional) banks.")
+
+let iterations_arg =
+  Arg.(value & opt int 5 & info [ "iterations"; "i" ] ~docv:"INT" ~doc:"Protocol rounds.")
+
+let epsilon_arg =
+  Arg.(value & opt float 1.0 & info [ "epsilon" ] ~docv:"FLOAT" ~doc:"Query privacy cost.")
+
+let shock_arg =
+  Arg.(
+    value
+    & opt (enum [ ("absorbed", Banking.Absorbed); ("cascade", Banking.Cascade) ])
+        Banking.Cascade
+    & info [ "shock" ] ~docv:"SCENARIO" ~doc:"Stress scenario: absorbed or cascade.")
+
+let reference_only_arg =
+  Arg.(
+    value & flag
+    & info [ "reference-only" ] ~doc:"Skip MPC; run only the cleartext oracle.")
+
+(* ------------------------------------------------------------------ *)
+(* stress command                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let make_network ~seed ~core ~periphery ~shock =
+  let prng = Prng.of_int seed in
+  let topo = Topology.core_periphery prng ~core ~periphery () in
+  let inst = Banking.en_of_topology prng topo () in
+  (Banking.shock_en prng inst topo shock, topo)
+
+let stress model seed grpname k core periphery iterations epsilon shock reference_only =
+  let grp = Group.by_name grpname in
+  let inst, _ = make_network ~seed ~core ~periphery ~shock in
+  match model with
+  | `En ->
+      let oracle = Reference.eisenberg_noe ~iterations inst in
+      Printf.printf "cleartext oracle TDS: $%.2f (converged at round %d)\n"
+        oracle.Reference.en_tds oracle.Reference.en_rounds_to_converge;
+      if not reference_only then begin
+        let l = 12 and scale = 0.25 in
+        let graph = En_program.graph_of_instance inst in
+        let degree = Graph.max_degree graph in
+        let p = En_program.make ~epsilon ~sensitivity:20 ~l ~degree ~iterations () in
+        let states = En_program.encode_instance inst ~graph ~l ~degree ~scale in
+        let cfg =
+          Engine.default_config grp ~k ~degree_bound:degree
+            ~seed:(string_of_int seed)
+        in
+        let report = Engine.run cfg p ~graph ~initial_states:states in
+        Printf.printf "DStress noised TDS:   $%.2f\n"
+          (En_program.decode_output ~scale report.Engine.output);
+        Format.printf "%a@." Engine.pp_report report
+      end
+  | `Egj ->
+      let prng = Prng.of_int seed in
+      let topo = Topology.core_periphery prng ~core ~periphery () in
+      let inst = Banking.egj_of_topology prng topo () in
+      let inst = Banking.shock_egj prng inst topo shock in
+      let oracle = Reference.elliott_golub_jackson ~iterations inst in
+      Printf.printf "cleartext oracle TDS: $%.2f (%d failed banks, monotone: %b)\n"
+        oracle.Reference.egj_tds
+        (Array.fold_left (fun a f -> if f then a + 1 else a) 0 oracle.Reference.failed)
+        oracle.Reference.monotone;
+      if not reference_only then begin
+        let l = 16 and frac = 6 and scale = 4.0 in
+        let graph = Egj_program.graph_of_instance inst in
+        let degree = Graph.max_degree graph in
+        let p =
+          Egj_program.make ~epsilon ~sensitivity:20 ~l ~frac ~degree ~iterations ()
+        in
+        let states = Egj_program.encode_instance inst ~graph ~l ~frac ~degree ~scale in
+        let cfg =
+          Engine.default_config grp ~k ~degree_bound:degree ~seed:(string_of_int seed)
+        in
+        let report = Engine.run cfg p ~graph ~initial_states:states in
+        Printf.printf "DStress noised TDS:   $%.2f\n"
+          (Egj_program.decode_output ~scale ~frac report.Engine.output);
+        Format.printf "%a@." Engine.pp_report report
+      end
+
+let model_arg =
+  Arg.(
+    value
+    & opt (enum [ ("en", `En); ("egj", `Egj) ]) `En
+    & info [ "model" ] ~docv:"MODEL" ~doc:"Systemic-risk model: en or egj.")
+
+let stress_cmd =
+  let doc = "Run a private systemic-risk stress test on a synthetic network." in
+  Cmd.v
+    (Cmd.info "stress" ~doc)
+    Term.(
+      const stress $ model_arg $ seed_arg $ group_arg $ k_arg $ core_arg $ periphery_arg
+      $ iterations_arg $ epsilon_arg $ shock_arg $ reference_only_arg)
+
+(* ------------------------------------------------------------------ *)
+(* project command                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let project grpname n d k l =
+  let grp = Group.by_name grpname in
+  let units = Projection.measure_units grp ~seed:"cli" in
+  let params = { Projection.n; d; k; l; iterations = None; tree_fanout = 100 } in
+  Format.printf "%a@." Projection.pp (Projection.project units params)
+
+let project_cmd =
+  let doc = "Project end-to-end cost for a network size (Figure 6 methodology)." in
+  let n = Arg.(value & opt int 1750 & info [ "n" ] ~docv:"INT" ~doc:"Banks.") in
+  let d = Arg.(value & opt int 100 & info [ "d" ] ~docv:"INT" ~doc:"Degree bound.") in
+  let k = Arg.(value & opt int 19 & info [ "k" ] ~docv:"INT" ~doc:"Collusion bound.") in
+  let l = Arg.(value & opt int 16 & info [ "l" ] ~docv:"INT" ~doc:"Message bits.") in
+  Cmd.v (Cmd.info "project" ~doc) Term.(const project $ group_arg $ n $ d $ k $ l)
+
+(* ------------------------------------------------------------------ *)
+(* privacy command                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let privacy () =
+  let p = Utility.paper_policy in
+  let eps = Utility.epsilon_for_accuracy p in
+  Printf.printf "output privacy (§4.5):\n";
+  Printf.printf "  eps_max = %.4f, eps_query = %.4f, runs/year = %d\n" p.Utility.epsilon_max
+    eps (Utility.runs_per_year p);
+  Printf.printf "  Laplace scale = $%.1fB for a +-$%.0fB accuracy target\n\n"
+    (Utility.noise_scale_dollars p ~epsilon:eps /. 1e9)
+    (p.Utility.accuracy_dollars /. 1e9);
+  Printf.printf "edge privacy (Appendix B):\n";
+  Format.printf "%a@." Edge_privacy.pp_report (Edge_privacy.analyze Edge_privacy.paper_example)
+
+let privacy_cmd =
+  let doc = "Print the privacy-budget accounting (output + edge privacy)." in
+  Cmd.v (Cmd.info "privacy" ~doc) Term.(const privacy $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* baseline command                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let baseline grpname max_n =
+  let grp = Group.by_name grpname in
+  let sizes = List.filter (fun n -> n <= max_n) [ 3; 4; 5; 6; 8; 10 ] in
+  let ms =
+    List.map
+      (fun n ->
+        let m = Matmul.measure grp ~parties:3 ~n ~bits:12 ~seed:("cli" ^ string_of_int n) in
+        Printf.printf "N=%2d: %.2f s (%d AND gates)\n" n m.Matmul.seconds m.Matmul.and_count;
+        m)
+      sizes
+  in
+  let c = Matmul.fit_cubic ms in
+  Printf.printf "extrapolation: EN on 1750 banks as one MPC = %.1f years\n"
+    (Matmul.years (Matmul.extrapolate_seconds ~c ~n:1750 ~powers:11))
+
+let baseline_cmd =
+  let doc = "Benchmark the naive monolithic-MPC baseline (§5.5)." in
+  let max_n =
+    Arg.(value & opt int 6 & info [ "max-n" ] ~docv:"INT" ~doc:"Largest matrix size.")
+  in
+  Cmd.v (Cmd.info "baseline" ~doc) Term.(const baseline $ group_arg $ max_n)
+
+(* ------------------------------------------------------------------ *)
+(* scenarios command                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let scenarios seed iterations =
+  Printf.printf "%-10s %12s %14s %16s\n" "scenario" "TDS" "impaired core" "converged round";
+  List.iter
+    (fun (name, shock) ->
+      let inst, topo = Banking.appendix_c_network (Prng.of_int seed) shock in
+      let r = Reference.eisenberg_noe ~iterations inst in
+      let impaired =
+        List.length
+          (List.filter (fun c -> r.Reference.prorate.(c) < 0.999) topo.Dstress_graphgen.Topology.core)
+      in
+      Printf.printf "%-10s %12.2f %11d/10 %16d\n" name r.Reference.en_tds impaired
+        r.Reference.en_rounds_to_converge)
+    [ ("absorbed", Banking.Absorbed); ("cascade", Banking.Cascade) ]
+
+let scenarios_cmd =
+  let doc = "Compare the Appendix-C contagion scenarios on a 50-bank network." in
+  let iters =
+    Arg.(value & opt int 40 & info [ "iterations" ] ~docv:"INT" ~doc:"Solver rounds.")
+  in
+  Cmd.v (Cmd.info "scenarios" ~doc) Term.(const scenarios $ seed_arg $ iters)
+
+(* ------------------------------------------------------------------ *)
+
+let main_cmd =
+  let doc = "differentially private computations on distributed graphs" in
+  Cmd.group
+    (Cmd.info "dstress" ~version:"1.0.0" ~doc)
+    [ stress_cmd; project_cmd; privacy_cmd; baseline_cmd; scenarios_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/egj_stress.ml: Array Dstress_crypto Dstress_risk Dstress_runtime Dstress_util List Printf String

@@ -1,0 +1,1 @@
+examples/egj_stress.mli:

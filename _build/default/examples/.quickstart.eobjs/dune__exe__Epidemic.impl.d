@@ -1,0 +1,1 @@
+examples/epidemic.ml: Array Dstress_circuit Dstress_crypto Dstress_graphgen Dstress_runtime Dstress_util List Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dstress_crypto Dstress_risk Dstress_runtime Format Printf

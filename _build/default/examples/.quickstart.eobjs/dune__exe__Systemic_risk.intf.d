@@ -1,0 +1,1 @@
+examples/systemic_risk.mli:

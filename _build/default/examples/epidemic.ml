@@ -1,0 +1,76 @@
+(* Beyond finance: a custom vertex program for private epidemic sizing.
+ *
+ *   dune exec examples/epidemic.exe
+ *
+ * §3.1 notes that the vertex-program model covers many multi-domain graph
+ * analyses (cloud reliability, criminal intelligence, social science).
+ * This example writes a vertex program from scratch against the public
+ * API: each organisation knows only whether it is "infected" (say,
+ * compromised by a worm) and who its direct peers are. The program floods
+ * the infection bit for a few rounds and releases a differentially
+ * private count of reachable organisations — no one learns who is
+ * infected, who is connected to whom, or the exact count.
+ *
+ * The update function is three lines of circuit: OR the incoming bits
+ * into the state and forward it. *)
+
+module Bitvec = Dstress_util.Bitvec
+module Prng = Dstress_util.Prng
+module Group = Dstress_crypto.Group
+module Builder = Dstress_circuit.Builder
+module Word = Dstress_circuit.Word
+module Graph = Dstress_runtime.Graph
+module Engine = Dstress_runtime.Engine
+module Vertex_program = Dstress_runtime.Vertex_program
+module Topology = Dstress_graphgen.Topology
+
+let infection_program ~iterations ~epsilon =
+  {
+    Vertex_program.name = "epidemic-size";
+    state_bits = 1;
+    message_bits = 1;
+    iterations;
+    sensitivity = 1 (* one org flipping its bit moves the count by <= 1 *);
+    epsilon;
+    noise_max_magnitude = 30;
+    agg_bits = 12;
+    build_update =
+      (fun b ~state ~incoming ->
+        let infected =
+          Array.fold_left (fun acc m -> Builder.bor b acc m.(0)) state.(0) incoming
+        in
+        ([| infected |], Array.map (fun _ -> [| infected |]) incoming));
+    build_aggregand = (fun b ~state -> Word.zero_extend b state ~bits:12);
+  }
+
+let () =
+  (* A scale-free contact network of 24 organisations; three are patient
+     zero. Each org knows only its own edges and status. *)
+  let prng = Prng.of_int 0xE81 in
+  let topo = Topology.scale_free prng ~n:24 ~attach:2 ~max_degree:6 in
+  let edges =
+    List.concat_map (fun (a, b) -> [ (a, b); (b, a) ]) topo.Topology.links
+  in
+  let graph = Graph.create ~n:24 ~edges in
+  let infected0 = [ 0; 7; 13 ] in
+  let states =
+    Array.init 24 (fun i -> Bitvec.of_int ~bits:1 (if List.mem i infected0 then 1 else 0))
+  in
+  let iterations = 4 in
+  let program = infection_program ~iterations ~epsilon:1.0 in
+  (* Ground truth for comparison (the regulator's view). *)
+  let truth =
+    Engine.run_plaintext program ~degree_bound:(Graph.max_degree graph) ~graph
+      ~initial_states:states
+  in
+  Printf.printf "true epidemic size after %d hops: %d of 24 organisations\n" iterations truth;
+  let config =
+    Engine.default_config (Group.by_name "toy") ~k:2
+      ~degree_bound:(Graph.max_degree graph) ~seed:"epidemic"
+  in
+  let report = Engine.run config program ~graph ~initial_states:states in
+  Printf.printf "privately released size: %d (eps = 1.0)\n" report.Engine.output;
+  Printf.printf
+    "update circuit: %d AND gates — tiny, because flooding is just ORs;\n\
+     the protocol cost is dominated by the topology-hiding transfers.\n"
+    report.Engine.update_stats.Dstress_circuit.Circuit.ands

@@ -1,0 +1,63 @@
+(* Quickstart: a five-bank Eisenberg–Noe stress test, end to end.
+ *
+ *   dune exec examples/quickstart.exe
+ *
+ * Five banks hold cash and owe each other money; bank 0 has just lost its
+ * liquidity. Each bank only knows its own balance sheet. DStress computes
+ * the total dollar shortfall (TDS) of the system without any bank (or
+ * block of banks) learning anything beyond the differentially private
+ * final number. *)
+
+module Group = Dstress_crypto.Group
+module Graph = Dstress_runtime.Graph
+module Engine = Dstress_runtime.Engine
+module Reference = Dstress_risk.Reference
+module En_program = Dstress_risk.En_program
+
+let () =
+  (* 1. The (secret, distributed) financial network: each (i, j, amount)
+     is known only to banks i and j. *)
+  let economy =
+    {
+      Reference.en_n = 5;
+      cash = [| 0.0; 25.0; 40.0; 15.0; 30.0 |];
+      debts =
+        [
+          (0, 1, 30.0); (0, 2, 20.0);  (* the distressed bank owes 50 *)
+          (1, 2, 15.0); (2, 3, 25.0); (3, 4, 10.0); (4, 0, 5.0);
+        ];
+    }
+  in
+  (* 2. What a hypothetical all-seeing regulator would compute. *)
+  let oracle = Reference.eisenberg_noe economy in
+  Printf.printf "cleartext oracle:    TDS = $%.2f\n%!" oracle.Reference.en_tds;
+
+  (* 3. The same computation under DStress. Dollar amounts become 12-bit
+     fixed-point words; the update function becomes a boolean circuit
+     evaluated under GMW inside each bank's block; messages travel through
+     the topology-hiding transfer protocol; and the aggregate is released
+     with Laplace-style noise calibrated to sensitivity/epsilon. *)
+  let l = 12 in
+  let graph = En_program.graph_of_instance economy in
+  let degree = Graph.max_degree graph in
+  let program =
+    En_program.make ~epsilon:2.0 (* demo-friendly noise *) ~sensitivity:10 ~l ~degree
+      ~iterations:5 ()
+  in
+  let states = En_program.encode_instance economy ~graph ~l ~degree ~scale:0.25 in
+  let config =
+    Engine.default_config (Group.by_name "toy") ~k:2 ~degree_bound:degree ~seed:"quickstart"
+  in
+  let report = Engine.run config program ~graph ~initial_states:states in
+  let tds = En_program.decode_output ~scale:0.25 report.Engine.output in
+  Printf.printf "DStress (eps = 2.0): TDS = $%.2f  (noise: $%+.2f)\n%!" tds
+    (tds -. oracle.Reference.en_tds);
+
+  (* 4. What it cost. *)
+  Printf.printf "\n%!";
+  Format.printf "%a@." Engine.pp_report report;
+  Printf.printf
+    "\nNo participant saw any other bank's balance sheet, any intermediate\n\
+     state, or the exact aggregate: every value above except the noised TDS\n\
+     stayed XOR-shared across blocks of %d nodes.\n"
+    3

@@ -1,0 +1,83 @@
+(* Systemic-risk monitoring on a two-tier banking network (Appendix C).
+ *
+ *   dune exec examples/systemic_risk.exe
+ *
+ * A 50-bank economy (10 money-center banks densely interconnected, 40
+ * regional banks each borrowing from one or two of them) is hit by two
+ * different shocks. The "absorbed" shock wipes a few regional banks; the
+ * "cascade" shock also drains the core's buffers, so the same regional
+ * failures take the center down. The regulator's question — did the core
+ * survive? — is answered by the total dollar shortfall, which DStress can
+ * compute without anyone disclosing their books.
+ *
+ * The cleartext oracle runs at full scale; the MPC demonstration runs a
+ * downsized instance so the example finishes in seconds. *)
+
+module Prng = Dstress_util.Prng
+module Group = Dstress_crypto.Group
+module Graph = Dstress_runtime.Graph
+module Engine = Dstress_runtime.Engine
+module Reference = Dstress_risk.Reference
+module En_program = Dstress_risk.En_program
+module Sensitivity = Dstress_risk.Sensitivity
+module Topology = Dstress_graphgen.Topology
+module Banking = Dstress_graphgen.Banking
+
+let () =
+  Printf.printf "== Appendix-C scenario: 10 core + 40 regional banks ==\n\n";
+  List.iter
+    (fun (name, shock) ->
+      let inst, topo = Banking.appendix_c_network (Prng.of_int 0xC0FFEE) shock in
+      let r = Reference.eisenberg_noe ~iterations:12 inst in
+      let impaired_core =
+        List.length (List.filter (fun c -> r.Reference.prorate.(c) < 0.999) topo.Topology.core)
+      in
+      Printf.printf "%-9s shock: TDS = $%7.2f, %d/10 core banks impaired\n" name
+        r.Reference.en_tds impaired_core)
+    [ ("absorbed", Banking.Absorbed); ("cascade", Banking.Cascade) ];
+  Printf.printf
+    "\nThe iteration budget: Eisenberg-Noe provably settles within N rounds, and on\n\
+     two-tier networks log2(N) rounds already capture the TDS (Appendix C), so the\n\
+     fixed iteration count DStress needs (§3.7) costs little.\n\n";
+
+  (* The same measurement under MPC, on a downsized economy. *)
+  Printf.printf "== The cascade measured privately (8-bank downsized economy) ==\n\n";
+  let prng = Prng.of_int 0x5151 in
+  let topo = Topology.core_periphery prng ~core:3 ~periphery:5 () in
+  let inst = Banking.en_of_topology prng topo () in
+  let inst = Banking.shock_en prng inst topo Banking.Cascade in
+  let oracle = Reference.eisenberg_noe ~iterations:6 inst in
+  let l = 12 and scale = 0.25 in
+  let graph = En_program.graph_of_instance inst in
+  let degree = Graph.max_degree graph in
+  (* Dollar-differential privacy: protect $1 reallocations in any single
+     portfolio (granularity T), at the leverage-derived sensitivity. Note
+     the proportions: in the real deployment T is $1B against a ~$500B
+     TDS; here T is $1 against a ~$30 shortfall, so the relative noise is
+     substantially larger — scale the granularity down or epsilon up when
+     the aggregate is small. *)
+  let leverage = 0.1 in
+  let epsilon = 2.0 in
+  let s_units =
+    Sensitivity.units
+      ~sensitivity:(Sensitivity.eisenberg_noe ~leverage)
+      ~scale_dollars:scale ~granularity_dollars:1.0
+  in
+  let program =
+    En_program.make ~epsilon ~sensitivity:s_units ~noise_max:800 ~l ~degree
+      ~iterations:5 ()
+  in
+  let states = En_program.encode_instance inst ~graph ~l ~degree ~scale in
+  let config =
+    Engine.default_config (Group.by_name "toy") ~k:2 ~degree_bound:degree
+      ~seed:"systemic-risk"
+  in
+  let report = Engine.run config program ~graph ~initial_states:states in
+  Printf.printf "oracle TDS:  $%.2f\n" oracle.Reference.en_tds;
+  Printf.printf "DStress TDS: $%.2f  (eps = %.1f, sensitivity %d units, noise scale $%.1f)\n"
+    (En_program.decode_output ~scale report.Engine.output)
+    epsilon s_units
+    (float_of_int s_units *. scale /. epsilon);
+  Printf.printf "transfer failures: %d, MPC AND gates: %d, traffic: %.2f MB total\n"
+    report.Engine.transfer_failures report.Engine.mpc_and_gates
+    (float_of_int (Dstress_mpc.Traffic.total report.Engine.traffic) /. 1048576.0)

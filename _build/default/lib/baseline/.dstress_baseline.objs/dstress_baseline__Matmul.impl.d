@@ -1,0 +1,1 @@
+lib/baseline/matmul.ml: Array Dstress_circuit Dstress_crypto Dstress_mpc Dstress_util Hashtbl List Unix

@@ -1,0 +1,1 @@
+lib/baseline/matmul.mli: Dstress_circuit Dstress_crypto

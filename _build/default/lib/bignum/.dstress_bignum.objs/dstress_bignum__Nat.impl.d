@@ -1,0 +1,1 @@
+lib/bignum/nat.ml: Array Bytes Char Dstress_util Format Printf Stdlib String

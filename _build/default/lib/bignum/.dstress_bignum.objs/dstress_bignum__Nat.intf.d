@@ -1,0 +1,1 @@
+lib/bignum/nat.mli: Dstress_util Format

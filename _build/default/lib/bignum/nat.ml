@@ -1,0 +1,543 @@
+(* Little-endian arrays of 26-bit limbs, normalized: no trailing zero limb,
+   and zero is the empty array. 26-bit limbs keep every intermediate product
+   (< 2^52) plus carries inside OCaml's 63-bit native int, so all arithmetic
+   below is exact without Int64 boxing. *)
+
+let limb_bits = 26
+let base = 1 lsl limb_bits
+let mask = base - 1
+
+type t = int array
+
+let zero : t = [||]
+let one : t = [| 1 |]
+let two : t = [| 2 |]
+
+let normalize (a : int array) : t =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let is_zero t = Array.length t = 0
+let is_one t = Array.length t = 1 && t.(0) = 1
+let is_even t = Array.length t = 0 || t.(0) land 1 = 0
+
+let of_int v =
+  if v < 0 then invalid_arg "Nat.of_int: negative";
+  if v = 0 then zero
+  else begin
+    let rec count n acc = if n = 0 then acc else count (n lsr limb_bits) (acc + 1) in
+    let len = count v 0 in
+    Array.init len (fun i -> (v lsr (i * limb_bits)) land mask)
+  end
+
+let to_int_opt t =
+  (* max_int has 62 bits = 2 limbs + 10 bits of a third. *)
+  let n = Array.length t in
+  if n > 3 then None
+  else begin
+    let rec build i acc =
+      if i < 0 then Some acc
+      else if acc > (max_int - t.(i)) lsr limb_bits then None
+      else build (i - 1) ((acc lsl limb_bits) lor t.(i))
+    in
+    build (n - 1) 0
+  end
+
+let to_int t =
+  match to_int_opt t with
+  | Some v -> v
+  | None -> failwith "Nat.to_int: value exceeds max_int"
+
+let compare a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else begin
+    let rec go i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (la - 1)
+  end
+
+let equal a b = compare a b = 0
+
+let num_bits t =
+  let n = Array.length t in
+  if n = 0 then 0
+  else begin
+    let top = t.(n - 1) in
+    let rec width v acc = if v = 0 then acc else width (v lsr 1) (acc + 1) in
+    ((n - 1) * limb_bits) + width top 0
+  end
+
+let bit t i =
+  let limb = i / limb_bits in
+  limb < Array.length t && (t.(limb) lsr (i mod limb_bits)) land 1 = 1
+
+let add a b =
+  let la = Array.length a and lb = Array.length b in
+  let n = max la lb in
+  let r = Array.make (n + 1) 0 in
+  let carry = ref 0 in
+  for i = 0 to n - 1 do
+    let x =
+      (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry
+    in
+    r.(i) <- x land mask;
+    carry := x lsr limb_bits
+  done;
+  r.(n) <- !carry;
+  normalize r
+
+let sub a b =
+  if compare a b < 0 then invalid_arg "Nat.sub: negative result";
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let x = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    r.(i) <- x land mask;
+    borrow := if x < 0 then 1 else 0
+  done;
+  normalize r
+
+let mul a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then zero
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let ai = a.(i) in
+      if ai <> 0 then begin
+        let carry = ref 0 in
+        for j = 0 to lb - 1 do
+          let x = r.(i + j) + (ai * b.(j)) + !carry in
+          r.(i + j) <- x land mask;
+          carry := x lsr limb_bits
+        done;
+        r.(i + lb) <- r.(i + lb) + !carry
+      end
+    done;
+    normalize r
+  end
+
+let sqr a = mul a a
+
+let shift_left t k =
+  if k < 0 then invalid_arg "Nat.shift_left";
+  if is_zero t || k = 0 then t
+  else begin
+    let limbs = k / limb_bits and bits = k mod limb_bits in
+    let n = Array.length t in
+    let r = Array.make (n + limbs + 1) 0 in
+    for i = 0 to n - 1 do
+      let v = t.(i) lsl bits in
+      r.(i + limbs) <- r.(i + limbs) lor (v land mask);
+      r.(i + limbs + 1) <- v lsr limb_bits
+    done;
+    normalize r
+  end
+
+let shift_right t k =
+  if k < 0 then invalid_arg "Nat.shift_right";
+  if is_zero t || k = 0 then t
+  else begin
+    let limbs = k / limb_bits and bits = k mod limb_bits in
+    let n = Array.length t in
+    if limbs >= n then zero
+    else begin
+      let r = Array.make (n - limbs) 0 in
+      for i = 0 to n - limbs - 1 do
+        let lo = t.(i + limbs) lsr bits in
+        let hi =
+          if bits = 0 || i + limbs + 1 >= n then 0
+          else (t.(i + limbs + 1) lsl (limb_bits - bits)) land mask
+        in
+        r.(i) <- lo lor hi
+      done;
+      normalize r
+    end
+  end
+
+(* Short division by a single limb. *)
+let divmod_limb a d =
+  let n = Array.length a in
+  let q = Array.make n 0 in
+  let r = ref 0 in
+  for i = n - 1 downto 0 do
+    let cur = (!r lsl limb_bits) lor a.(i) in
+    q.(i) <- cur / d;
+    r := cur mod d
+  done;
+  (normalize q, !r)
+
+(* Knuth algorithm D. Preconditions: [b] has >= 2 limbs and [a >= b]. *)
+let divmod_long a b =
+  let nb = Array.length b in
+  (* Normalize so the top limb of the divisor has its high bit set; this
+     guarantees the quotient-digit estimate is off by at most 2. *)
+  let rec top_width v acc = if v = 0 then acc else top_width (v lsr 1) (acc + 1) in
+  let shift = limb_bits - top_width b.(nb - 1) 0 in
+  let u0 = shift_left a shift and v = shift_left b shift in
+  let n = Array.length v in
+  let mu = Array.length u0 in
+  let m = mu - n in
+  (* Working copy of the dividend with one extra high limb. *)
+  let u = Array.make (mu + 1) 0 in
+  Array.blit u0 0 u 0 mu;
+  let q = Array.make (m + 1) 0 in
+  let vtop = v.(n - 1) and vnext = v.(n - 2) in
+  for j = m downto 0 do
+    let num = (u.(j + n) lsl limb_bits) lor u.(j + n - 1) in
+    let qhat = ref (num / vtop) and rhat = ref (num mod vtop) in
+    if !qhat >= base then begin
+      qhat := base - 1;
+      rhat := num - ((base - 1) * vtop)
+    end;
+    let continue = ref true in
+    while !continue && !rhat < base do
+      if !qhat * vnext > (!rhat lsl limb_bits) lor u.(j + n - 2) then begin
+        decr qhat;
+        rhat := !rhat + vtop
+      end
+      else continue := false
+    done;
+    (* Multiply-and-subtract qhat * v from u[j .. j+n]. *)
+    let carry = ref 0 and borrow = ref 0 in
+    for i = 0 to n - 1 do
+      let p = (!qhat * v.(i)) + !carry in
+      carry := p lsr limb_bits;
+      let d = u.(j + i) - (p land mask) - !borrow in
+      u.(j + i) <- d land mask;
+      borrow := if d < 0 then 1 else 0
+    done;
+    let d = u.(j + n) - !carry - !borrow in
+    u.(j + n) <- d land mask;
+    if d < 0 then begin
+      (* Estimate was one too high: add the divisor back. *)
+      decr qhat;
+      let c = ref 0 in
+      for i = 0 to n - 1 do
+        let s = u.(j + i) + v.(i) + !c in
+        u.(j + i) <- s land mask;
+        c := s lsr limb_bits
+      done;
+      u.(j + n) <- (u.(j + n) + !c) land mask
+    end;
+    q.(j) <- !qhat
+  done;
+  let r = normalize (Array.sub u 0 n) in
+  (normalize q, shift_right r shift)
+
+let divmod a b =
+  if is_zero b then raise Division_by_zero;
+  if compare a b < 0 then (zero, a)
+  else if Array.length b = 1 then begin
+    let q, r = divmod_limb a b.(0) in
+    (q, of_int r)
+  end
+  else divmod_long a b
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+let pow b e =
+  if e < 0 then invalid_arg "Nat.pow: negative exponent";
+  let rec go acc b e =
+    if e = 0 then acc
+    else begin
+      let acc = if e land 1 = 1 then mul acc b else acc in
+      go acc (sqr b) (e lsr 1)
+    end
+  in
+  go one b e
+
+let rec gcd a b = if is_zero b then a else gcd b (rem a b)
+
+let mod_add a b ~m =
+  let s = add a b in
+  if compare s m >= 0 then sub s m else s
+
+let mod_sub a b ~m = if compare a b >= 0 then sub a b else sub (add a m) b
+
+let mod_mul a b ~m = rem (mul a b) m
+
+(* ------------------------------------------------------------------ *)
+(* Montgomery arithmetic (odd moduli).                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Mont = struct
+  type ctx = {
+    m : t; (* odd modulus, k limbs *)
+    k : int;
+    m0' : int; (* -m[0]^{-1} mod 2^26 *)
+    r2 : t; (* (2^26)^{2k} mod m, converts into Montgomery form *)
+  }
+
+  let modulus ctx = ctx.m
+
+  (* Inverse of an odd limb modulo 2^26 by Newton–Hensel lifting: each step
+     doubles the number of correct low bits, so five steps from a 1-bit
+     seed cover 26 bits. *)
+  let inv_limb m0 =
+    let x = ref m0 in
+    for _ = 1 to 5 do
+      x := !x * (2 - (m0 * !x)) land mask
+    done;
+    !x land mask
+
+  let create m =
+    if is_even m || compare m (of_int 3) < 0 then
+      invalid_arg "Nat.Mont.create: modulus must be odd and >= 3";
+    let k = Array.length m in
+    let m0' = (base - inv_limb m.(0)) land mask in
+    let r2 = rem (shift_left one (2 * k * limb_bits)) m in
+    { m; k; m0' ; r2 }
+
+  (* CIOS multiplication: interleaved multiply and reduce. Both inputs are
+     Montgomery-form values < m (k limbs, zero-padded). *)
+  let mul ctx a b =
+    let k = ctx.k in
+    let m = ctx.m in
+    let aa = Array.make k 0 and bb = Array.make k 0 in
+    Array.blit a 0 aa 0 (Array.length a);
+    Array.blit b 0 bb 0 (Array.length b);
+    let tloc = Array.make (k + 2) 0 in
+    for i = 0 to k - 1 do
+      let ai = aa.(i) in
+      (* t <- t + ai * b *)
+      let c = ref 0 in
+      for j = 0 to k - 1 do
+        let x = tloc.(j) + (ai * bb.(j)) + !c in
+        tloc.(j) <- x land mask;
+        c := x lsr limb_bits
+      done;
+      let x = tloc.(k) + !c in
+      tloc.(k) <- x land mask;
+      tloc.(k + 1) <- tloc.(k + 1) + (x lsr limb_bits);
+      (* t <- (t + mu * m) / base *)
+      let mu = tloc.(0) * ctx.m0' land mask in
+      let c = ref ((tloc.(0) + (mu * m.(0))) lsr limb_bits) in
+      for j = 1 to k - 1 do
+        let x = tloc.(j) + (mu * m.(j)) + !c in
+        tloc.(j - 1) <- x land mask;
+        c := x lsr limb_bits
+      done;
+      let x = tloc.(k) + !c in
+      tloc.(k - 1) <- x land mask;
+      let x2 = tloc.(k + 1) + (x lsr limb_bits) in
+      tloc.(k) <- x2 land mask;
+      tloc.(k + 1) <- x2 lsr limb_bits
+    done;
+    let r = normalize (Array.sub tloc 0 (k + 1)) in
+    if compare r m >= 0 then sub r m else r
+
+  let to_mont ctx x = mul ctx x ctx.r2
+
+  let from_mont ctx x = mul ctx x one
+
+  (* 4-bit fixed-window exponentiation. *)
+  let pow ctx base_mont exp =
+    let bits = num_bits exp in
+    if bits = 0 then to_mont ctx one
+    else begin
+      let table = Array.make 16 (to_mont ctx one) in
+      for i = 1 to 15 do
+        table.(i) <- mul ctx table.(i - 1) base_mont
+      done;
+      let nwin = (bits + 3) / 4 in
+      let acc = ref table.(0) in
+      for w = nwin - 1 downto 0 do
+        if w < nwin - 1 then
+          for _ = 1 to 4 do
+            acc := mul ctx !acc !acc
+          done;
+        let d =
+          (if bit exp ((4 * w) + 3) then 8 else 0)
+          lor (if bit exp ((4 * w) + 2) then 4 else 0)
+          lor (if bit exp ((4 * w) + 1) then 2 else 0)
+          lor (if bit exp (4 * w) then 1 else 0)
+        in
+        if d <> 0 then acc := mul ctx !acc table.(d)
+      done;
+      !acc
+    end
+end
+
+let mod_pow ~base:b ~exp ~m =
+  if is_zero m then raise Division_by_zero;
+  if is_one m then zero
+  else if is_even m then begin
+    (* Rare in this code base (our moduli are odd primes); plain
+       square-and-multiply keeps the even case correct. *)
+    let rec go acc b i =
+      if i >= num_bits exp then acc
+      else begin
+        let acc = if bit exp i then mod_mul acc b ~m else acc in
+        go acc (mod_mul b b ~m) (i + 1)
+      end
+    in
+    go one (rem b m) 0
+  end
+  else begin
+    let ctx = Mont.create m in
+    Mont.from_mont ctx (Mont.pow ctx (Mont.to_mont ctx (rem b m)) exp)
+  end
+
+(* Extended Euclid with signed cofactors, tracked as (negative?, magnitude). *)
+let mod_inv a ~m =
+  if is_zero m then raise Division_by_zero;
+  let signed_sub (sa, va) (sb, vb) =
+    (* (sa,va) - (sb,vb) *)
+    if sa = sb then
+      if compare va vb >= 0 then (sa, sub va vb) else (not sa, sub vb va)
+    else (sa, add va vb)
+  in
+  let rec go (r0, s0) (r1, s1) =
+    if is_zero r1 then (r0, s0)
+    else begin
+      let q, r2 = divmod r0 r1 in
+      let qs1 = (fst s1, mul q (snd s1)) in
+      go (r1, s1) (r2, signed_sub s0 qs1)
+    end
+  in
+  let g, (neg, v) = go (rem a m, (false, one)) (m, (false, zero)) in
+  if not (is_one g) then raise Not_found;
+  let v = rem v m in
+  if neg && not (is_zero v) then sub m v else v
+
+(* ------------------------------------------------------------------ *)
+(* Conversions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let of_bytes_be b =
+  let n = Bytes.length b in
+  let acc = ref zero in
+  for i = 0 to n - 1 do
+    acc := add (shift_left !acc 8) (of_int (Char.code (Bytes.get b i)))
+  done;
+  !acc
+
+let to_bytes_be t =
+  let nbytes = (num_bits t + 7) / 8 in
+  let out = Bytes.create nbytes in
+  for i = 0 to nbytes - 1 do
+    let byte = ref 0 in
+    for j = 0 to 7 do
+      if bit t ((8 * (nbytes - 1 - i)) + j) then byte := !byte lor (1 lsl j)
+    done;
+    Bytes.set out i (Char.chr !byte)
+  done;
+  out
+
+let of_hex s =
+  let s = if String.length s mod 2 = 1 then "0" ^ s else s in
+  of_bytes_be (Dstress_util.Hex.decode s)
+
+let to_hex t =
+  let s = Dstress_util.Hex.encode (to_bytes_be t) in
+  if s = "" then "0" else s
+
+let chunk_pow = 10_000_000 (* 10^7 < 2^26: fits a single limb *)
+let chunk_digits = 7
+
+let of_decimal s =
+  if s = "" then invalid_arg "Nat.of_decimal: empty";
+  String.iter
+    (fun c -> if c < '0' || c > '9' then invalid_arg "Nat.of_decimal: bad digit")
+    s;
+  let acc = ref zero in
+  let i = ref 0 in
+  let n = String.length s in
+  while !i < n do
+    let take = min chunk_digits (n - !i) in
+    let chunk = int_of_string (String.sub s !i take) in
+    acc := add (mul !acc (of_int (int_of_float (10.0 ** float_of_int take)))) (of_int chunk);
+    i := !i + take
+  done;
+  !acc
+
+let to_decimal t =
+  if is_zero t then "0"
+  else begin
+    let rec go t acc =
+      if is_zero t then acc
+      else begin
+        let q, r = divmod_limb t chunk_pow in
+        if is_zero q then string_of_int r :: acc
+        else go q (Printf.sprintf "%07d" r :: acc)
+      end
+    in
+    String.concat "" (go t [])
+  end
+
+let pp ppf t = Format.pp_print_string ppf (to_decimal t)
+
+(* ------------------------------------------------------------------ *)
+(* Randomness and primality                                            *)
+(* ------------------------------------------------------------------ *)
+
+let random_bits prng n =
+  if n < 0 then invalid_arg "Nat.random_bits";
+  let limbs = (n + limb_bits - 1) / limb_bits in
+  let r = Array.init limbs (fun _ -> Dstress_util.Prng.bits prng limb_bits) in
+  let extra = (limbs * limb_bits) - n in
+  if limbs > 0 && extra > 0 then r.(limbs - 1) <- r.(limbs - 1) lsr extra;
+  normalize r
+
+let random_below prng bound =
+  if is_zero bound then invalid_arg "Nat.random_below: zero bound";
+  let nb = num_bits bound in
+  let rec loop () =
+    let candidate = random_bits prng nb in
+    if compare candidate bound < 0 then candidate else loop ()
+  in
+  loop ()
+
+let is_probable_prime ?(rounds = 32) prng n =
+  if compare n two < 0 then false
+  else if compare n (of_int 4) < 0 then true (* 2 and 3 *)
+  else if is_even n then false
+  else begin
+    let n1 = sub n one in
+    (* n - 1 = d * 2^s with d odd *)
+    let rec split d s = if is_even d then split (shift_right d 1) (s + 1) else (d, s) in
+    let d, s = split n1 0 in
+    let try_base a =
+      let x = ref (mod_pow ~base:a ~exp:d ~m:n) in
+      if is_one !x || equal !x n1 then true
+      else begin
+        let rec squares i =
+          if i >= s - 1 then false
+          else begin
+            x := mod_mul !x !x ~m:n;
+            if equal !x n1 then true else squares (i + 1)
+          end
+        in
+        squares 0
+      end
+    in
+    let rec rounds_loop i =
+      if i = rounds then true
+      else begin
+        let a = add two (random_below prng (sub n (of_int 3))) in
+        if try_base a then rounds_loop (i + 1) else false
+      end
+    in
+    rounds_loop 0
+  end
+
+let generate_prime prng ~bits =
+  if bits < 2 then invalid_arg "Nat.generate_prime: bits < 2";
+  let rec loop () =
+    let c = random_bits prng (bits - 1) in
+    (* Force the top bit (exact width) and the low bit (oddness). *)
+    let c = add (shift_left one (bits - 1)) c in
+    let c = if is_even c then add c one else c in
+    if is_probable_prime prng c then c else loop ()
+  in
+  loop ()

@@ -1,0 +1,126 @@
+(** Arbitrary-precision natural numbers.
+
+    This is the arithmetic substrate for the ElGamal layer: the container is
+    sealed (no [opam install]), so we implement multi-precision arithmetic
+    from scratch rather than depending on zarith. Numbers are immutable.
+
+    The representation is a little-endian array of 26-bit limbs, chosen so
+    that a limb product (2^52) plus carries fits comfortably in OCaml's
+    63-bit native [int] during schoolbook multiplication and Montgomery
+    reduction. *)
+
+type t
+
+val zero : t
+val one : t
+val two : t
+
+val of_int : int -> t
+(** Raises [Invalid_argument] on negative input. *)
+
+val to_int : t -> int
+(** Raises [Failure] if the value exceeds [max_int]. *)
+
+val to_int_opt : t -> int option
+
+val is_zero : t -> bool
+val is_one : t -> bool
+val is_even : t -> bool
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val num_bits : t -> int
+(** Position of the highest set bit plus one; [num_bits zero = 0]. *)
+
+val bit : t -> int -> bool
+(** [bit t i] is bit [i] (little-endian); [false] beyond [num_bits]. *)
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+(** Raises [Invalid_argument] if the result would be negative. *)
+
+val mul : t -> t -> t
+
+val divmod : t -> t -> t * t
+(** [divmod a b = (q, r)] with [a = q*b + r], [0 <= r < b].
+    Raises [Division_by_zero] if [b] is zero. *)
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+val shift_left : t -> int -> t
+val shift_right : t -> int -> t
+
+val sqr : t -> t
+
+val pow : t -> int -> t
+(** Plain (non-modular) exponentiation; exponent must be non-negative. *)
+
+val gcd : t -> t -> t
+
+val mod_add : t -> t -> m:t -> t
+(** Arguments must already be reduced modulo [m]. *)
+
+val mod_sub : t -> t -> m:t -> t
+val mod_mul : t -> t -> m:t -> t
+
+val mod_pow : base:t -> exp:t -> m:t -> t
+(** Modular exponentiation. Uses Montgomery reduction with a 4-bit window
+    when [m] is odd, plain square-and-multiply otherwise.
+    Raises [Division_by_zero] if [m] is zero. *)
+
+val mod_inv : t -> m:t -> t
+(** Multiplicative inverse modulo [m]. Raises [Not_found] when the inverse
+    does not exist (i.e. [gcd t m <> 1]). *)
+
+val of_bytes_be : bytes -> t
+val to_bytes_be : t -> bytes
+(** Minimal-length big-endian encoding; [to_bytes_be zero] is empty. *)
+
+val of_hex : string -> t
+(** Accepts an even- or odd-length hex string. *)
+
+val to_hex : t -> string
+
+val of_decimal : string -> t
+(** Raises [Invalid_argument] on empty strings or non-digit characters. *)
+
+val to_decimal : t -> string
+
+val random_below : Dstress_util.Prng.t -> t -> t
+(** [random_below prng bound] is uniform in [\[0, bound)]; [bound] must be
+    positive. *)
+
+val random_bits : Dstress_util.Prng.t -> int -> t
+(** Uniform value with at most [n] bits. *)
+
+val is_probable_prime : ?rounds:int -> Dstress_util.Prng.t -> t -> bool
+(** Miller–Rabin with [rounds] random bases (default 32). *)
+
+val generate_prime : Dstress_util.Prng.t -> bits:int -> t
+(** Random probable prime with exactly [bits] bits ([bits >= 2]). *)
+
+val pp : Format.formatter -> t -> unit
+(** Decimal rendering. *)
+
+(** Montgomery-form contexts, exposed for hot loops in the crypto layer that
+    perform many multiplications modulo the same odd modulus. *)
+module Mont : sig
+  type ctx
+
+  val create : t -> ctx
+  (** Raises [Invalid_argument] if the modulus is even or < 3. *)
+
+  val modulus : ctx -> t
+  val to_mont : ctx -> t -> t
+  val from_mont : ctx -> t -> t
+
+  val mul : ctx -> t -> t -> t
+  (** Multiplication of two Montgomery-form values. *)
+
+  val pow : ctx -> t -> t -> t
+  (** [pow ctx base_mont exp] with Montgomery-form base and plain exponent;
+      result in Montgomery form. *)
+end

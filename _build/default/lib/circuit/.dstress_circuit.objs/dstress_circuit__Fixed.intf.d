@@ -1,0 +1,1 @@
+lib/circuit/fixed.mli: Builder Word

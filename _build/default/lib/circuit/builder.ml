@@ -1,0 +1,137 @@
+type wire = Circuit.wire
+
+type t = {
+  mutable gates : Circuit.gate array;
+  mutable len : int;
+  mutable num_inputs : int;
+  cache : (Circuit.gate, wire) Hashtbl.t; (* structural hash-consing *)
+  mutable sealed : bool;
+}
+
+let create () =
+  { gates = Array.make 64 (Circuit.Const false); len = 0; num_inputs = 0;
+    cache = Hashtbl.create 256; sealed = false }
+
+let push t gate =
+  if t.sealed then invalid_arg "Builder: already finished";
+  match Hashtbl.find_opt t.cache gate with
+  | Some w -> w
+  | None ->
+      if t.len = Array.length t.gates then begin
+        let bigger = Array.make (2 * t.len) (Circuit.Const false) in
+        Array.blit t.gates 0 bigger 0 t.len;
+        t.gates <- bigger
+      end;
+      t.gates.(t.len) <- gate;
+      let w = t.len in
+      t.len <- t.len + 1;
+      Hashtbl.replace t.cache gate w;
+      w
+
+let gate_of t w = t.gates.(w)
+
+let input t =
+  let k = t.num_inputs in
+  t.num_inputs <- k + 1;
+  (* Inputs are never hash-consed together: each allocation is distinct. *)
+  if t.sealed then invalid_arg "Builder: already finished";
+  if t.len = Array.length t.gates then begin
+    let bigger = Array.make (2 * t.len) (Circuit.Const false) in
+    Array.blit t.gates 0 bigger 0 t.len;
+    t.gates <- bigger
+  end;
+  t.gates.(t.len) <- Circuit.Input k;
+  let w = t.len in
+  t.len <- t.len + 1;
+  w
+
+let inputs t n = Array.init n (fun _ -> input t)
+
+let const t b = push t (Circuit.Const b)
+
+let const_of t w =
+  match gate_of t w with Circuit.Const b -> Some b | _ -> None
+
+let bnot t a =
+  match gate_of t a with
+  | Circuit.Const b -> const t (not b)
+  | Circuit.Not inner -> inner
+  | Circuit.Input _ | Circuit.Xor _ | Circuit.And _ -> push t (Circuit.Not a)
+
+let bxor t a b =
+  if a = b then const t false
+  else
+    match (const_of t a, const_of t b) with
+    | Some ca, Some cb -> const t (ca <> cb)
+    | Some false, None -> b
+    | None, Some false -> a
+    | Some true, None -> bnot t b
+    | None, Some true -> bnot t a
+    | None, None ->
+        (* Canonical operand order maximizes hash-consing hits. *)
+        let a, b = if a <= b then (a, b) else (b, a) in
+        push t (Circuit.Xor (a, b))
+
+let band t a b =
+  if a = b then a
+  else
+    match (const_of t a, const_of t b) with
+    | Some ca, Some cb -> const t (ca && cb)
+    | Some false, None | None, Some false -> const t false
+    | Some true, None -> b
+    | None, Some true -> a
+    | None, None ->
+        let a, b = if a <= b then (a, b) else (b, a) in
+        push t (Circuit.And (a, b))
+
+let bor t a b = bnot t (band t (bnot t a) (bnot t b))
+
+let bnand t a b = bnot t (band t a b)
+
+let bxnor t a b = bnot t (bxor t a b)
+
+(* if sel then a else b  =  b XOR (sel AND (a XOR b)) *)
+let mux t sel a b = bxor t b (band t sel (bxor t a b))
+
+let num_inputs t = t.num_inputs
+
+let finish t ~outputs =
+  if t.sealed then invalid_arg "Builder.finish: already finished";
+  t.sealed <- true;
+  let gates = Array.sub t.gates 0 t.len in
+  (* Dead-gate elimination: keep only gates reachable from the outputs
+     (plus all Input gates, which fix input positions). *)
+  let live = Array.make t.len false in
+  let rec mark w =
+    if not live.(w) then begin
+      live.(w) <- true;
+      match gates.(w) with
+      | Circuit.Input _ | Circuit.Const _ -> ()
+      | Circuit.Not a -> mark a
+      | Circuit.Xor (a, b) | Circuit.And (a, b) ->
+          mark a;
+          mark b
+    end
+  in
+  Array.iter mark outputs;
+  Array.iteri (fun i g -> match g with Circuit.Input _ -> live.(i) <- true | _ -> ()) gates;
+  let remap = Array.make t.len (-1) in
+  let kept = ref [] in
+  let next = ref 0 in
+  Array.iteri
+    (fun i g ->
+      if live.(i) then begin
+        remap.(i) <- !next;
+        incr next;
+        kept := g :: !kept
+      end)
+    gates;
+  let remap_gate = function
+    | Circuit.Input _ | Circuit.Const _ as g -> g
+    | Circuit.Not a -> Circuit.Not remap.(a)
+    | Circuit.Xor (a, b) -> Circuit.Xor (remap.(a), remap.(b))
+    | Circuit.And (a, b) -> Circuit.And (remap.(a), remap.(b))
+  in
+  let final = Array.of_list (List.rev_map remap_gate !kept) in
+  Circuit.make ~gates:final ~num_inputs:t.num_inputs
+    ~outputs:(Array.map (fun w -> remap.(w)) outputs)

@@ -1,0 +1,35 @@
+type cfg = { int_bits : int; frac_bits : int }
+
+let width cfg = cfg.int_bits + cfg.frac_bits
+
+let encode cfg v =
+  let scaled = v *. float_of_int (1 lsl cfg.frac_bits) in
+  let max_val = (1 lsl width cfg) - 1 in
+  let r = int_of_float (Float.round scaled) in
+  if r < 0 then 0 else if r > max_val then max_val else r
+
+let decode cfg v = float_of_int v /. float_of_int (1 lsl cfg.frac_bits)
+
+let constant b cfg v = Word.constant b ~bits:(width cfg) (encode cfg v)
+
+let one b cfg = constant b cfg 1.0
+
+let inputs b cfg = Word.inputs b ~bits:(width cfg)
+
+let add b _cfg = Word.add b
+
+let saturating_sub b _cfg = Word.saturating_sub b
+
+let mul b cfg x y =
+  let product = Word.mul b x y in
+  Word.truncate (Word.shift_right_const b product cfg.frac_bits) ~bits:(width cfg)
+
+let div b cfg x y =
+  let w = width cfg in
+  (* Shift the dividend left by frac_bits before dividing so the quotient
+     lands back on the fixed-point grid. *)
+  let wide = Word.shift_left_const b (Word.zero_extend b x ~bits:(w + cfg.frac_bits)) cfg.frac_bits in
+  let q, _ = Word.divmod b wide y in
+  Word.truncate q ~bits:w
+
+let clamp_to_one b cfg x = Word.min b x (one b cfg)

@@ -1,0 +1,34 @@
+(** Unsigned fixed-point arithmetic on top of {!Word}.
+
+    The Elliott–Golub–Jackson circuit works with fractions — equity shares,
+    valuation discounts — so values are scaled integers with [frac_bits]
+    binary places. A configuration fixes the layout; all circuit values
+    under one configuration share a width of [int_bits + frac_bits]. *)
+
+type cfg = { int_bits : int; frac_bits : int }
+
+val width : cfg -> int
+
+val encode : cfg -> float -> int
+(** Nearest scaled integer, clamped to the representable range
+    [\[0, 2^width - 1\]]. *)
+
+val decode : cfg -> int -> float
+
+val constant : Builder.t -> cfg -> float -> Word.t
+val one : Builder.t -> cfg -> Word.t
+(** The fixed-point constant 1.0. *)
+
+val inputs : Builder.t -> cfg -> Word.t
+
+val add : Builder.t -> cfg -> Word.t -> Word.t -> Word.t
+val saturating_sub : Builder.t -> cfg -> Word.t -> Word.t -> Word.t
+
+val mul : Builder.t -> cfg -> Word.t -> Word.t -> Word.t
+(** [(a * b) >> frac_bits], truncated to the configuration width. *)
+
+val div : Builder.t -> cfg -> Word.t -> Word.t -> Word.t
+(** [(a << frac_bits) / b], truncated to the configuration width. *)
+
+val clamp_to_one : Builder.t -> cfg -> Word.t -> Word.t
+(** [min x 1.0] — keeps ratios like prorate factors inside [\[0,1\]]. *)

@@ -1,0 +1,154 @@
+type t = Builder.wire array
+
+let width = Array.length
+
+let constant b ~bits v =
+  Array.init bits (fun i -> Builder.const b ((v asr i) land 1 = 1))
+
+let inputs b ~bits = Builder.inputs b bits
+
+let zero_extend b w ~bits =
+  if bits < Array.length w then invalid_arg "Word.zero_extend: narrower target";
+  Array.init bits (fun i -> if i < Array.length w then w.(i) else Builder.const b false)
+
+let truncate w ~bits =
+  if bits > Array.length w then invalid_arg "Word.truncate: wider target";
+  Array.sub w 0 bits
+
+let shift_left_const b w k =
+  let n = Array.length w in
+  Array.init n (fun i -> if i < k then Builder.const b false else w.(i - k))
+
+let shift_right_const b w k =
+  let n = Array.length w in
+  Array.init n (fun i -> if i + k < n then w.(i + k) else Builder.const b false)
+
+let check_widths name a c =
+  if Array.length a <> Array.length c then invalid_arg ("Word." ^ name ^ ": width mismatch")
+
+(* Ripple-carry adder: 1 AND per bit for the carry via the standard
+   majority decomposition carry' = (a AND b) XOR (c AND (a XOR b)) — the
+   builder folds the constant-operand cases for free. *)
+let add_with_carry b x y =
+  check_widths "add" x y;
+  let n = Array.length x in
+  let out = Array.make n (Builder.const b false) in
+  let carry = ref (Builder.const b false) in
+  for i = 0 to n - 1 do
+    let axb = Builder.bxor b x.(i) y.(i) in
+    out.(i) <- Builder.bxor b axb !carry;
+    carry := Builder.bxor b (Builder.band b x.(i) y.(i)) (Builder.band b !carry axb)
+  done;
+  (out, !carry)
+
+let add b x y = fst (add_with_carry b x y)
+
+let lognot b w = Array.map (Builder.bnot b) w
+
+(* a - b = a + NOT b + 1; borrow = NOT carry_out. *)
+let sub_with_borrow b x y =
+  check_widths "sub" x y;
+  let n = Array.length x in
+  let out = Array.make n (Builder.const b false) in
+  let carry = ref (Builder.const b true) in
+  for i = 0 to n - 1 do
+    let ny = Builder.bnot b y.(i) in
+    let axb = Builder.bxor b x.(i) ny in
+    out.(i) <- Builder.bxor b axb !carry;
+    carry := Builder.bxor b (Builder.band b x.(i) ny) (Builder.band b !carry axb)
+  done;
+  (out, Builder.bnot b !carry)
+
+let sub b x y = fst (sub_with_borrow b x y)
+
+let negate b w = sub b (Array.map (fun _ -> Builder.const b false) w) w
+
+let mux b sel x y =
+  check_widths "mux" x y;
+  Array.init (Array.length x) (fun i -> Builder.mux b sel x.(i) y.(i))
+
+let saturating_sub b x y =
+  let diff, borrow = sub_with_borrow b x y in
+  let zero = Array.map (fun _ -> Builder.const b false) x in
+  mux b borrow zero diff
+
+let eq b x y =
+  check_widths "eq" x y;
+  let diff = Array.mapi (fun i xi -> Builder.bxor b xi y.(i)) x in
+  (* NOT (OR of diffs) = AND of NOTs *)
+  Array.fold_left (fun acc d -> Builder.band b acc (Builder.bnot b d)) (Builder.const b true) diff
+
+let is_zero b w =
+  Array.fold_left (fun acc bit -> Builder.band b acc (Builder.bnot b bit)) (Builder.const b true) w
+
+let lt b x y = snd (sub_with_borrow b x y)
+let ge b x y = Builder.bnot b (lt b x y)
+let gt b x y = lt b y x
+let le b x y = Builder.bnot b (lt b y x)
+
+let min b x y = mux b (lt b x y) x y
+let max b x y = mux b (lt b x y) y x
+
+(* Shift-and-add schoolbook multiplier. *)
+let mul b x y =
+  let nx = Array.length x and ny = Array.length y in
+  let bits = nx + ny in
+  let acc = ref (constant b ~bits 0) in
+  for i = 0 to ny - 1 do
+    let partial =
+      Array.init bits (fun j ->
+          if j < i || j - i >= nx then Builder.const b false
+          else Builder.band b x.(j - i) y.(i))
+    in
+    acc := add b !acc partial
+  done;
+  !acc
+
+let mul_truncated b x y ~bits =
+  let nx = Array.length x and ny = Array.length y in
+  let acc = ref (constant b ~bits 0) in
+  for i = 0 to Stdlib.min (ny - 1) (bits - 1) do
+    let partial =
+      Array.init bits (fun j ->
+          if j < i || j - i >= nx then Builder.const b false
+          else Builder.band b x.(j - i) y.(i))
+    in
+    acc := add b !acc partial
+  done;
+  !acc
+
+(* Restoring division, MSB-first. The running remainder has one guard bit
+   beyond the divisor width. *)
+let divmod b dividend divisor =
+  let n = Array.length dividend and m = Array.length divisor in
+  let rw = m + 1 in
+  let divisor_ext = zero_extend b divisor ~bits:rw in
+  let quotient = Array.make n (Builder.const b false) in
+  let remainder = ref (constant b ~bits:rw 0) in
+  for i = n - 1 downto 0 do
+    (* R = (R << 1) | dividend_i *)
+    let shifted =
+      Array.init rw (fun j -> if j = 0 then dividend.(i) else !remainder.(j - 1))
+    in
+    let diff, borrow = sub_with_borrow b shifted divisor_ext in
+    let fits = Builder.bnot b borrow in
+    quotient.(i) <- fits;
+    remainder := mux b fits diff shifted
+  done;
+  (quotient, truncate !remainder ~bits:m)
+
+let logand b x y =
+  check_widths "logand" x y;
+  Array.mapi (fun i xi -> Builder.band b xi y.(i)) x
+
+let logxor b x y =
+  check_widths "logxor" x y;
+  Array.mapi (fun i xi -> Builder.bxor b xi y.(i)) x
+
+let sum b ~bits = function
+  | [] -> invalid_arg "Word.sum: empty"
+  | first :: rest ->
+      List.fold_left
+        (fun acc w -> add b acc (zero_extend b w ~bits))
+        (zero_extend b first ~bits)
+        rest

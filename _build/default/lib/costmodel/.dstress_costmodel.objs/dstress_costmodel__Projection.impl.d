@@ -1,0 +1,1 @@
+lib/costmodel/projection.ml: Array Dstress_circuit Dstress_crypto Dstress_risk Dstress_runtime Format Hashtbl Unix

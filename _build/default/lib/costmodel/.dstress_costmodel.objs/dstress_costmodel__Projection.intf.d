@@ -1,0 +1,1 @@
+lib/costmodel/projection.mli: Dstress_crypto Format

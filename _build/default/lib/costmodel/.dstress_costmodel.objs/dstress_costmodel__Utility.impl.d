@@ -1,0 +1,1 @@
+lib/costmodel/utility.ml: Array Dstress_dp Dstress_util

@@ -1,0 +1,1 @@
+lib/costmodel/utility.mli: Dstress_util

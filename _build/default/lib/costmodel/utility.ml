@@ -1,0 +1,74 @@
+module Prng = Dstress_util.Prng
+module Mechanism = Dstress_dp.Mechanism
+
+type policy = {
+  epsilon_max : float;
+  sensitivity : float;
+  granularity_dollars : float;
+  accuracy_dollars : float;
+  confidence : float;
+}
+
+let paper_policy =
+  {
+    epsilon_max = log 2.0;
+    sensitivity = 20.0;
+    granularity_dollars = 1e9;
+    accuracy_dollars = 200e9;
+    confidence = 0.95;
+  }
+
+let check p =
+  if p.confidence <= 0.0 || p.confidence >= 1.0 then invalid_arg "Utility: confidence";
+  if p.accuracy_dollars <= 0.0 || p.granularity_dollars <= 0.0 || p.sensitivity <= 0.0
+  then invalid_arg "Utility: nonpositive policy parameter"
+
+(* P(|Lap(b)| > A) with the paper's convention 1/2 exp(-A/b) <= 1 - c
+   gives A/b >= ln (1 / (2 (1-c))), i.e. eps >= sT ln(1/(2(1-c))) / A. *)
+let epsilon_for_accuracy p =
+  check p;
+  let tail = 1.0 -. p.confidence in
+  p.sensitivity *. p.granularity_dollars
+  *. log (1.0 /. (2.0 *. tail))
+  /. p.accuracy_dollars
+
+let runs_per_year p =
+  let e = epsilon_for_accuracy p in
+  int_of_float (floor (p.epsilon_max /. e))
+
+let noise_scale_dollars p ~epsilon =
+  p.sensitivity *. p.granularity_dollars /. epsilon
+
+type accuracy_stats = {
+  mean_abs_error : float;
+  p95_abs_error : float;
+  within_target : float;
+}
+
+let monte_carlo prng p ~epsilon ~samples =
+  check p;
+  if samples < 1 then invalid_arg "Utility.monte_carlo: samples < 1";
+  let scale = noise_scale_dollars p ~epsilon in
+  let errors =
+    Array.init samples (fun _ -> abs_float (Mechanism.laplace prng ~scale))
+  in
+  let within =
+    Array.fold_left (fun a e -> if e <= p.accuracy_dollars then a + 1 else a) 0 errors
+  in
+  {
+    mean_abs_error = Dstress_util.Stats.mean errors;
+    p95_abs_error = Dstress_util.Stats.percentile errors 95.0;
+    within_target = float_of_int within /. float_of_int samples;
+  }
+
+let detection_rate prng p ~epsilon ~crisis_tds ~calm_tds ~threshold ~samples =
+  check p;
+  let scale = noise_scale_dollars p ~epsilon in
+  let count tds =
+    let hits = ref 0 in
+    for _ = 1 to samples do
+      if tds +. Mechanism.laplace prng ~scale > threshold then incr hits
+    done;
+    float_of_int !hits /. float_of_int samples
+  in
+  (count crisis_tds, count calm_tds)

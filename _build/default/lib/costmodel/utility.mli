@@ -1,0 +1,52 @@
+(** The §4.5 utility analysis: how precisely can the TDS be released, how
+    often can the stress test run, and does the noise actually preserve
+    the signal regulators care about?
+
+    The paper's policy: a yearly budget of [eps_max = ln 2] ("no adversary
+    doubles its confidence in any fact"), dollar-DP at granularity
+    T = $1B, EGJ sensitivity 2/r = 20 under the Basel III leverage bound
+    r = 0.1, and a +-$200B accuracy target at 95% confidence — which costs
+    [eps_query >= 0.23] per run and allows three runs per year. *)
+
+type policy = {
+  epsilon_max : float;
+  sensitivity : float;  (** in granularity units (20 for EGJ at r = 0.1) *)
+  granularity_dollars : float;  (** T *)
+  accuracy_dollars : float;  (** two-sided accuracy target A *)
+  confidence : float;  (** e.g. 0.95 *)
+}
+
+val paper_policy : policy
+
+val epsilon_for_accuracy : policy -> float
+(** Smallest [eps_query] such that
+    [P(noise magnitude > A) <= 1 - confidence], with the paper's
+    one-sided-tail convention [1/2 * exp(-A eps / (s T))]. *)
+
+val runs_per_year : policy -> int
+(** [floor (epsilon_max / epsilon_for_accuracy)]. *)
+
+val noise_scale_dollars : policy -> epsilon:float -> float
+(** The Laplace scale [s * T / eps] in dollars. *)
+
+type accuracy_stats = {
+  mean_abs_error : float;
+  p95_abs_error : float;
+  within_target : float;  (** fraction of draws within the accuracy target *)
+}
+
+val monte_carlo : Dstress_util.Prng.t -> policy -> epsilon:float -> samples:int -> accuracy_stats
+(** Empirical noise-magnitude distribution (in dollars). *)
+
+val detection_rate :
+  Dstress_util.Prng.t ->
+  policy ->
+  epsilon:float ->
+  crisis_tds:float ->
+  calm_tds:float ->
+  threshold:float ->
+  samples:int ->
+  float * float
+(** [(true_positive_rate, false_positive_rate)] of flagging a crisis when
+    the noised TDS exceeds [threshold] — the "early warning survives the
+    noise" claim of §2.3 made quantitative. *)

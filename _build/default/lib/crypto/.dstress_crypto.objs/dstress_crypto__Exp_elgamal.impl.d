@@ -1,0 +1,1 @@
+lib/crypto/exp_elgamal.ml: Dstress_bignum Elgamal Group Hashtbl List

@@ -1,0 +1,1 @@
+lib/crypto/exp_elgamal.mli: Elgamal Group Prg

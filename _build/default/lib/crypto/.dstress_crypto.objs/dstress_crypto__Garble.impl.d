@@ -1,0 +1,1 @@
+lib/crypto/garble.ml: Array Bytes Char Dstress_circuit Dstress_util Hashtbl List Meter Ot_ext Prg Sha256

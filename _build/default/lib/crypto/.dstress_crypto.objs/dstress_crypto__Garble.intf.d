@@ -1,0 +1,1 @@
+lib/crypto/garble.mli: Dstress_circuit Dstress_util Group Meter Ot_ext

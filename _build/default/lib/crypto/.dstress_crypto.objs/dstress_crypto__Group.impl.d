@@ -1,0 +1,1 @@
+lib/crypto/group.ml: Dstress_bignum Lazy Prg

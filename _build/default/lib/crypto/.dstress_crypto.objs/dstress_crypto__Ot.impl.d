@@ -1,0 +1,1 @@
+lib/crypto/ot.ml: Bytes Char Dstress_bignum Group Meter Prg Sha256

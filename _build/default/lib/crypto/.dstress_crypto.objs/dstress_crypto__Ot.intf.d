@@ -1,0 +1,1 @@
+lib/crypto/ot.mli: Group Meter Prg

@@ -1,0 +1,1 @@
+lib/crypto/ot_ext.ml: Array Bytes Char Dstress_util Group Int64 Meter Ot Prg Printf Sha256

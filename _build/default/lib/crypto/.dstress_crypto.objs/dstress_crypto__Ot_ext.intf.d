@@ -1,0 +1,1 @@
+lib/crypto/ot_ext.mli: Group Meter Prg

@@ -1,0 +1,1 @@
+lib/crypto/prg.ml: Bytes Char Dstress_bignum Dstress_util Int64 Sha256

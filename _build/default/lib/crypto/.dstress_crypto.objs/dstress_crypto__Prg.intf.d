@@ -1,0 +1,1 @@
+lib/crypto/prg.mli: Dstress_bignum Dstress_util

@@ -1,0 +1,1 @@
+lib/crypto/schnorr.ml: Bytes Dstress_bignum Elgamal Group Sha256

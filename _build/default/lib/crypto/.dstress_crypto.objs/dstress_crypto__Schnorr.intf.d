@@ -1,0 +1,1 @@
+lib/crypto/schnorr.mli: Dstress_bignum Elgamal Group Prg

@@ -1,0 +1,1 @@
+lib/crypto/wire.ml: Bytes Char Dstress_bignum Dstress_util Elgamal Group List Schnorr

@@ -1,0 +1,1 @@
+lib/crypto/wire.mli: Dstress_util Elgamal Group Schnorr

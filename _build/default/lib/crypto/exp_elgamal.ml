@@ -1,0 +1,61 @@
+module Nat = Dstress_bignum.Nat
+
+type ciphertext = Elgamal.ciphertext = { c1 : Group.elt; c2 : Group.elt }
+
+let keygen = Elgamal.keygen
+
+(* Encode an integer (possibly negative) as an exponent mod q. *)
+let encode_exponent grp v =
+  let q = Group.q grp in
+  if v >= 0 then Nat.rem (Nat.of_int v) q
+  else Nat.mod_sub Nat.zero (Nat.rem (Nat.of_int (-v)) q) ~m:q
+
+let g_to_the grp v = Group.pow_g grp (encode_exponent grp v)
+
+let encrypt prg grp h v = Elgamal.encrypt prg grp h (g_to_the grp v)
+
+let add = Elgamal.mul
+
+let add_clear prg grp h c v =
+  add grp c (encrypt prg grp h v)
+
+let rerandomize_key grp h r = Group.pow grp h r
+
+let adjust grp c r = { c with c1 = Group.pow grp c.c1 r }
+
+let decrypt_elt = Elgamal.decrypt
+
+module Table = struct
+  type t = { entries : (string, int) Hashtbl.t; size : int }
+
+  let make grp ~lo ~hi =
+    if hi < lo then invalid_arg "Exp_elgamal.Table.make: hi < lo";
+    let entries = Hashtbl.create (2 * (hi - lo + 1)) in
+    (* Walk the range with one group multiplication per entry instead of a
+       full exponentiation each. *)
+    let g = Group.g grp in
+    let cur = ref (g_to_the grp lo) in
+    for v = lo to hi do
+      Hashtbl.replace entries (Nat.to_hex !cur) v;
+      cur := Group.mul grp !cur g
+    done;
+    { entries; size = hi - lo + 1 }
+
+  let lookup t elt = Hashtbl.find_opt t.entries (Nat.to_hex elt)
+
+  let size t = t.size
+end
+
+let decrypt grp x table c = Table.lookup table (decrypt_elt grp x c)
+
+let encrypt_multi prg grp recipients =
+  let y = Group.random_exponent prg grp in
+  let c1 = Group.pow_g grp y in
+  let c2s =
+    List.map
+      (fun (h, v) -> Group.mul grp (g_to_the grp v) (Group.pow grp h y))
+      recipients
+  in
+  (c1, c2s)
+
+let multi_ciphertext_bytes grp l = (l + 1) * Group.element_bytes grp

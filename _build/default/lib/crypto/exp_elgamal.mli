@@ -1,0 +1,75 @@
+(** Exponential ElGamal (Cramer–Gennaro–Schoenmakers encoding): the message
+    [v] is carried in the exponent as [g^v], which turns ElGamal's
+    multiplicative homomorphism into the *additive* homomorphism the
+    DStress transfer protocol needs — the product of two ciphertexts
+    decrypts to the sum of the plaintexts.
+
+    Decryption recovers [g^v] and must then solve a small discrete log; as
+    in the paper, this is done with a precomputed lookup {!Table} covering
+    the (bounded) range of valid plaintexts, and failing — with the failure
+    probability analyzed in Appendix B of the paper — when geometric noise
+    pushes a value outside the table.
+
+    The module also implements the two "unusual properties" of §3:
+    {!rerandomize_key} (raising a public key to a neighbor key [r]) and
+    {!adjust} (raising the ephemeral part of a ciphertext to the same [r]
+    so the original secret key decrypts it again), plus the Kurosawa
+    multi-recipient optimization (§5.1) that reuses one ephemeral key
+    across the [L] bit-ciphertexts of a share. *)
+
+type ciphertext = Elgamal.ciphertext = { c1 : Group.elt; c2 : Group.elt }
+
+val keygen : Prg.t -> Group.t -> Elgamal.secret_key * Elgamal.public_key
+
+val encrypt : Prg.t -> Group.t -> Elgamal.public_key -> int -> ciphertext
+(** [encrypt prg grp h v] encrypts integer [v] (negative allowed; encoded
+    mod q) as [(g^y, g^v * h^y)]. *)
+
+val add : Group.t -> ciphertext -> ciphertext -> ciphertext
+(** Homomorphic addition of plaintexts. *)
+
+val add_clear : Prg.t -> Group.t -> Elgamal.public_key -> ciphertext -> int -> ciphertext
+(** [add_clear prg grp h c v] homomorphically adds the known integer [v]
+    to [c] (used by node [i] to inject geometric noise into a forwarded
+    ciphertext without knowing its plaintext). Re-randomizes the
+    ciphertext as a side effect. *)
+
+val rerandomize_key : Group.t -> Elgamal.public_key -> Group.exponent -> Elgamal.public_key
+(** [rerandomize_key grp h r] is [h^r]: a fresh-looking public key that
+    no longer matches [h] but whose holder can still decrypt adjusted
+    ciphertexts. *)
+
+val adjust : Group.t -> ciphertext -> Group.exponent -> ciphertext
+(** [adjust grp c r] raises the ephemeral part to [r], converting a
+    ciphertext under [h^r] into one under [h]. *)
+
+val decrypt_elt : Group.t -> Elgamal.secret_key -> ciphertext -> Group.elt
+(** Recovers [g^v] (not [v] itself). *)
+
+(** Bounded discrete-log lookup table, the paper's decryption mechanism. *)
+module Table : sig
+  type t
+
+  val make : Group.t -> lo:int -> hi:int -> t
+  (** Precomputes [g^v] for all [v] in [\[lo, hi\]]. O(hi - lo) group
+      operations, built incrementally (one multiplication per entry). *)
+
+  val lookup : t -> Group.elt -> int option
+  val size : t -> int
+end
+
+val decrypt : Group.t -> Elgamal.secret_key -> Table.t -> ciphertext -> int option
+(** [None] is a decryption failure (plaintext outside the table) — the
+    [P_fail] event of Appendix B. *)
+
+(** Multi-recipient encryption with a shared ephemeral key (Kurosawa). *)
+val encrypt_multi :
+  Prg.t -> Group.t -> (Elgamal.public_key * int) list -> Group.elt * Group.elt list
+(** [encrypt_multi prg grp [(h_1,v_1); ...]] returns [(g^y, [c2_1; ...])]
+    where [c2_i = g^(v_i) * h_i^y]. The ciphertext of recipient [i] is
+    [(g^y, c2_i)]; one group element is shared by all recipients, saving
+    both exponentiations and bandwidth. *)
+
+val multi_ciphertext_bytes : Group.t -> int -> int
+(** [multi_ciphertext_bytes grp l]: wire size of [l] messages sent with the
+    shared-ephemeral optimization ([l + 1] group elements). *)

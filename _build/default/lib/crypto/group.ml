@@ -1,0 +1,88 @@
+module Nat = Dstress_bignum.Nat
+
+type elt = Nat.t
+type exponent = Nat.t
+
+type t = {
+  p : Nat.t;
+  q : Nat.t;
+  g : elt;
+  mont : Nat.Mont.ctx;
+  g_mont : Nat.t; (* generator in Montgomery form, for pow_g *)
+}
+
+let p t = t.p
+let q t = t.q
+let g t = t.g
+
+let element_bytes t = (Nat.num_bits t.p + 7) / 8
+
+let make ~p ~q ~g =
+  if not (Nat.equal p (Nat.add (Nat.mul Nat.two q) Nat.one)) then
+    invalid_arg "Group.make: p <> 2q + 1";
+  let mont = Nat.Mont.create p in
+  let pow_plain b e = Nat.mod_pow ~base:b ~exp:e ~m:p in
+  if Nat.is_one g || not (Nat.is_one (pow_plain g q)) then
+    invalid_arg "Group.make: generator does not have order q";
+  { p; q; g; mont; g_mont = Nat.Mont.to_mont mont g }
+
+(* Parameters generated offline (see DESIGN.md): safe primes with fixed
+   seed 0xD57E55; g = 4 = 2^2 is a square, hence a generator of the
+   order-q subgroup. *)
+let toy =
+  lazy
+    (make
+       ~p:(Nat.of_hex "a869b1df7b8fb963")
+       ~q:(Nat.of_hex "5434d8efbdc7dcb1")
+       ~g:(Nat.of_int 4))
+
+let medium =
+  lazy
+    (make
+       ~p:(Nat.of_hex "babd616a6267f018a748355aae61269b")
+       ~q:(Nat.of_hex "5d5eb0b53133f80c53a41aad5730934d")
+       ~g:(Nat.of_int 4))
+
+let standard =
+  lazy
+    (make
+       ~p:(Nat.of_hex "a8d5a83392ab254e1558c9d68097b79e9804a125c4a9dc0ed2d2765dd6c74b0b")
+       ~q:(Nat.of_hex "546ad419c95592a70aac64eb404bdbcf4c025092e254ee0769693b2eeb63a585")
+       ~g:(Nat.of_int 4))
+
+let by_name = function
+  | "toy" -> Lazy.force toy
+  | "medium" -> Lazy.force medium
+  | "standard" -> Lazy.force standard
+  | s -> invalid_arg ("Group.by_name: unknown group " ^ s)
+
+let mul t a b =
+  Nat.Mont.from_mont t.mont
+    (Nat.Mont.mul t.mont (Nat.Mont.to_mont t.mont a) (Nat.Mont.to_mont t.mont b))
+
+let pow t b e =
+  Nat.Mont.from_mont t.mont (Nat.Mont.pow t.mont (Nat.Mont.to_mont t.mont b) e)
+
+let pow_g t e = Nat.Mont.from_mont t.mont (Nat.Mont.pow t.mont t.g_mont e)
+
+let inv t a = Nat.mod_inv a ~m:t.p
+
+let random_exponent prg t =
+  let rec loop () =
+    let e = Prg.nat_below prg t.q in
+    if Nat.is_zero e then loop () else e
+  in
+  loop ()
+
+let exp_add t a b = Nat.mod_add a b ~m:t.q
+let exp_sub t a b = Nat.mod_sub a b ~m:t.q
+let exp_mul t a b = Nat.mod_mul a b ~m:t.q
+let exp_inv t a = Nat.mod_inv a ~m:t.q
+
+let is_element t x =
+  Nat.compare x Nat.zero > 0
+  && Nat.compare x t.p < 0
+  && Nat.is_one (pow t x t.q)
+
+let elt_equal = Nat.equal
+let pp_elt = Nat.pp

@@ -1,0 +1,65 @@
+(** Schnorr groups: the prime-order subgroup of Z_p* used by the ElGamal
+    layer.
+
+    The paper's prototype uses the secp384r1 elliptic curve; this build
+    substitutes a multiplicative Schnorr group (a safe prime [p = 2q + 1]
+    and the order-[q] subgroup of squares). Every property the protocol
+    needs — additive homomorphism of exponential ElGamal, public-key
+    re-randomization, ephemeral-key reuse — is generic over the group, so
+    the substitution changes constants but not behaviour.
+
+    Three parameter sets are provided: [toy] (64-bit, for fast unit tests),
+    [medium] (128-bit) and [standard] (256-bit, comparable security margin
+    story to the paper's "more than enough for current cryptanalysis" — the
+    point of the evaluation is cost scaling, not concrete security). All
+    were generated offline with a fixed seed and are embedded as hex. *)
+
+type t
+(** Group parameters plus a Montgomery context for fast arithmetic mod p. *)
+
+type elt = Dstress_bignum.Nat.t
+(** Group elements are naturals in [\[1, p)]. *)
+
+type exponent = Dstress_bignum.Nat.t
+(** Exponents are naturals in [\[0, q)]. *)
+
+val make : p:Dstress_bignum.Nat.t -> q:Dstress_bignum.Nat.t -> g:elt -> t
+(** Build group parameters. Raises [Invalid_argument] if [p <> 2q + 1] or
+    if [g] does not have order [q]. *)
+
+val toy : t Lazy.t
+val medium : t Lazy.t
+val standard : t Lazy.t
+
+val by_name : string -> t
+(** ["toy" | "medium" | "standard"]. Raises [Invalid_argument] otherwise. *)
+
+val p : t -> Dstress_bignum.Nat.t
+val q : t -> Dstress_bignum.Nat.t
+val g : t -> elt
+
+val element_bytes : t -> int
+(** Serialized size of one group element (the ciphertext-size unit used by
+    the traffic model). *)
+
+val mul : t -> elt -> elt -> elt
+val inv : t -> elt -> elt
+val pow : t -> elt -> exponent -> elt
+
+val pow_g : t -> exponent -> elt
+(** [pow_g t e] is [g^e], via a cached Montgomery-form base. *)
+
+val random_exponent : Prg.t -> t -> exponent
+(** Uniform in [\[1, q)] (never zero, so re-randomizers are invertible). *)
+
+val exp_add : t -> exponent -> exponent -> exponent
+val exp_sub : t -> exponent -> exponent -> exponent
+val exp_mul : t -> exponent -> exponent -> exponent
+val exp_inv : t -> exponent -> exponent
+(** Arithmetic in Z_q. [exp_inv] raises [Not_found] on zero. *)
+
+val is_element : t -> elt -> bool
+(** Membership test for the order-q subgroup. *)
+
+val elt_equal : elt -> elt -> bool
+val pp_elt : Format.formatter -> elt -> unit

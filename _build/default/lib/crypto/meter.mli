@@ -1,0 +1,14 @@
+(** Two-way traffic meter for a pair of protocol parties.
+
+    The evaluation in the paper reports per-node traffic for every protocol
+    phase; every simulated exchange in this code base is therefore metered
+    at the point where bytes would cross the wire. *)
+
+type t = { mutable a_to_b : int; mutable b_to_a : int }
+
+val create : unit -> t
+val add_a_to_b : t -> int -> unit
+val add_b_to_a : t -> int -> unit
+val total : t -> int
+val reset : t -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,54 @@
+(** IKNP oblivious-transfer extension (Ishai–Kilian–Nissim–Petrank,
+    CRYPTO'03), the optimization the paper's GMW implementation relies on
+    ("Wysteria's GMW implementation includes oblivious transfer extensions",
+    §5.3) to keep MPC traffic low.
+
+    After [kappa = 128] public-key base OTs per party pair (run once per
+    session via {!Ot.base_ot}), every further OT costs only symmetric
+    operations: roughly [kappa] bits from receiver to sender and two masked
+    messages back. This is what makes AND-gate evaluation affordable in the
+    GMW engine.
+
+    A {!session} is directional: the party that called {!setup} as [sender]
+    supplies message pairs to every subsequent {!extend}; the [receiver]
+    supplies choice bits. Sessions are stateful (column PRGs advance), so a
+    single session serves any number of OTs.
+
+    {2 Modes}
+
+    [Crypto] runs the construction end to end: ElGamal base OTs, SHA-based
+    column PRGs and row hashes. [Simulation] replaces the base OTs with the
+    ideal OT functionality and the symmetric primitives with a fast
+    non-cryptographic mixer, while keeping the IKNP data flow, correctness
+    behaviour and *metered traffic* identical — the mode exists so that
+    paper-scale benchmark runs (millions of AND-gate OTs, all parties
+    simulated on one machine) finish in minutes. Unit tests cover both
+    modes against each other. *)
+
+val kappa : int
+(** Computational security parameter (128). *)
+
+type mode = Crypto | Simulation
+
+type session
+
+val setup :
+  ?mode:mode -> Group.t -> Meter.t -> sender_prg:Prg.t -> receiver_prg:Prg.t -> session
+(** Runs the [kappa] base OTs (with reversed roles, per IKNP) and installs
+    the column PRGs. Default mode is [Crypto]. *)
+
+val extend :
+  session -> Meter.t -> pairs:(bytes * bytes) array -> choices:bool array -> bytes array
+(** [extend s meter ~pairs ~choices] performs [Array.length pairs] OTs and
+    returns the receiver's outputs. All messages must share one length;
+    [pairs] and [choices] must have equal lengths.
+    Raises [Invalid_argument] otherwise. *)
+
+val extend_bits :
+  session -> Meter.t -> pairs:(bool * bool) array -> choices:bool array -> bool array
+(** Bit-message fast path used by the GMW AND gates: messages are single
+    bits and the wire format packs them, so the metered traffic is
+    [kappa/8] bytes per OT plus two packed bit vectors. *)
+
+val ots_performed : session -> int
+(** Total OTs served so far (diagnostics). *)

@@ -1,0 +1,66 @@
+module Nat = Dstress_bignum.Nat
+
+(* SHA-256 in counter mode: block_i = H(key || i64). A buffer holds the
+   unconsumed tail of the last block so bit/byte requests of any size are
+   served without waste. *)
+type t = {
+  key : bytes;
+  mutable counter : int64;
+  mutable buffer : bytes;
+  mutable pos : int;
+}
+
+let create seed = { key = Bytes.copy seed; counter = 0L; buffer = Bytes.create 0; pos = 0 }
+
+let of_string s = create (Bytes.of_string s)
+
+let of_prng prng = create (Dstress_util.Prng.bytes prng 32)
+
+let next_block t =
+  let ctr = Bytes.create 8 in
+  for i = 0 to 7 do
+    Bytes.set ctr i
+      (Char.chr
+         (Int64.to_int (Int64.logand (Int64.shift_right_logical t.counter (8 * i)) 0xffL)))
+  done;
+  t.counter <- Int64.add t.counter 1L;
+  Sha256.digest (Bytes.cat t.key ctr)
+
+let refill t =
+  t.buffer <- next_block t;
+  t.pos <- 0
+
+let next_byte t =
+  if t.pos >= Bytes.length t.buffer then refill t;
+  let b = Bytes.get t.buffer t.pos in
+  t.pos <- t.pos + 1;
+  Char.code b
+
+let bytes t n =
+  Bytes.init n (fun _ -> Char.chr (next_byte t))
+
+let bits t n =
+  let nbytes = (n + 7) / 8 in
+  let raw = bytes t nbytes in
+  Dstress_util.Bitvec.init n (fun i ->
+      (Char.code (Bytes.get raw (i / 8)) lsr (i mod 8)) land 1 = 1)
+
+let bool t = next_byte t land 1 = 1
+
+let nat_below t bound =
+  if Nat.is_zero bound then invalid_arg "Prg.nat_below: zero bound";
+  let nbits = Nat.num_bits bound in
+  let nbytes = (nbits + 7) / 8 in
+  let excess = (8 * nbytes) - nbits in
+  let rec loop () =
+    let raw = bytes t nbytes in
+    (* Mask the high byte down to the bound's bit-width before the
+       rejection test, so acceptance probability is >= 1/2. *)
+    if excess > 0 then begin
+      let hi = Char.code (Bytes.get raw 0) in
+      Bytes.set raw 0 (Char.chr (hi land (0xff lsr excess)))
+    end;
+    let v = Nat.of_bytes_be raw in
+    if Nat.compare v bound < 0 then v else loop ()
+  in
+  loop ()

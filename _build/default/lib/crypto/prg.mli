@@ -1,0 +1,29 @@
+(** Deterministic pseudo-random generator built on SHA-256 in counter mode.
+
+    Each simulated protocol party derives its key material and protocol
+    randomness from a [Prg.t] seeded from its identity and the run seed,
+    which keeps whole protocol executions replayable. *)
+
+type t
+
+val create : bytes -> t
+(** [create seed] keys the generator. Any seed length is accepted. *)
+
+val of_string : string -> t
+
+val of_prng : Dstress_util.Prng.t -> t
+(** Derive a PRG from the simulation PRNG (for test convenience). *)
+
+val next_block : t -> bytes
+(** Next 32 pseudo-random bytes. Advances the counter. *)
+
+val bytes : t -> int -> bytes
+(** [bytes t n] produces [n] pseudo-random bytes. *)
+
+val bits : t -> int -> Dstress_util.Bitvec.t
+(** [bits t n] produces [n] pseudo-random bits. *)
+
+val bool : t -> bool
+
+val nat_below : t -> Dstress_bignum.Nat.t -> Dstress_bignum.Nat.t
+(** Uniform natural below a positive bound, by rejection sampling. *)

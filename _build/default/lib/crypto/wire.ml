@@ -1,0 +1,99 @@
+module Nat = Dstress_bignum.Nat
+module Bitvec = Dstress_util.Bitvec
+
+type reader = { buf : bytes; mutable pos : int }
+
+let reader buf = { buf; pos = 0 }
+
+let remaining r = Bytes.length r.buf - r.pos
+
+let take r n =
+  if remaining r < n then failwith "Wire: truncated message";
+  let b = Bytes.sub r.buf r.pos n in
+  r.pos <- r.pos + n;
+  b
+
+(* Fixed-width big-endian natural. *)
+let encode_nat_fixed width v =
+  let raw = Nat.to_bytes_be v in
+  let len = Bytes.length raw in
+  if len > width then failwith "Wire: value too wide";
+  let out = Bytes.make width '\x00' in
+  Bytes.blit raw 0 out (width - len) len;
+  out
+
+let decode_nat_fixed width r = Nat.of_bytes_be (take r width)
+
+let exponent_bytes grp = (Nat.num_bits (Group.q grp) + 7) / 8
+
+let encode_element grp e = encode_nat_fixed (Group.element_bytes grp) e
+
+let decode_element grp r =
+  let e = decode_nat_fixed (Group.element_bytes grp) r in
+  if not (Group.is_element grp e) then failwith "Wire: not a group element";
+  e
+
+let encode_exponent grp e = encode_nat_fixed (exponent_bytes grp) e
+
+let decode_exponent grp r =
+  let e = decode_nat_fixed (exponent_bytes grp) r in
+  if Nat.compare e (Group.q grp) >= 0 then failwith "Wire: exponent out of range";
+  e
+
+let encode_ciphertext grp c =
+  Bytes.cat (encode_element grp c.Elgamal.c1) (encode_element grp c.Elgamal.c2)
+
+let decode_ciphertext grp r =
+  let c1 = decode_element grp r in
+  let c2 = decode_element grp r in
+  { Elgamal.c1; c2 }
+
+let encode_u32 v =
+  if v < 0 then failwith "Wire: negative length";
+  Bytes.init 4 (fun i -> Char.chr ((v lsr (8 * (3 - i))) land 0xff))
+
+let decode_u32 r =
+  let b = take r 4 in
+  let byte i = Char.code (Bytes.get b i) in
+  (byte 0 lsl 24) lor (byte 1 lsl 16) lor (byte 2 lsl 8) lor byte 3
+
+let encode_multi_bundle grp (c1, c2s) =
+  Bytes.concat Bytes.empty
+    (encode_u32 (List.length c2s)
+    :: encode_element grp c1
+    :: List.map (encode_element grp) c2s)
+
+let decode_multi_bundle grp r =
+  let count = decode_u32 r in
+  if count > 1_000_000 then failwith "Wire: implausible bundle size";
+  let c1 = decode_element grp r in
+  let c2s = List.init count (fun _ -> decode_element grp r) in
+  (c1, c2s)
+
+let encode_signature grp s =
+  Bytes.cat
+    (encode_nat_fixed (exponent_bytes grp) s.Schnorr.challenge)
+    (encode_nat_fixed (exponent_bytes grp) s.Schnorr.response)
+
+let decode_signature grp r =
+  let challenge = decode_exponent grp r in
+  let response = decode_exponent grp r in
+  { Schnorr.challenge; response }
+
+let encode_bits v =
+  let n = Bitvec.length v in
+  let packed = Bytes.make ((n + 7) / 8) '\x00' in
+  for i = 0 to n - 1 do
+    if Bitvec.get v i then
+      Bytes.set packed (i / 8)
+        (Char.chr (Char.code (Bytes.get packed (i / 8)) lor (1 lsl (i mod 8))))
+  done;
+  Bytes.cat (encode_u32 n) packed
+
+let decode_bits r =
+  let n = decode_u32 r in
+  if n > 100_000_000 then failwith "Wire: implausible bit length";
+  let packed = take r ((n + 7) / 8) in
+  Bitvec.init n (fun i -> (Char.code (Bytes.get packed (i / 8)) lsr (i mod 8)) land 1 = 1)
+
+let multi_bundle_bytes grp l = 4 + ((l + 1) * Group.element_bytes grp)

@@ -1,0 +1,47 @@
+(** Binary wire format for protocol messages.
+
+    The traffic model charges specific byte counts for keys, ciphertexts,
+    signatures and share bundles; this module is the actual encoding that
+    backs those numbers. Group elements and exponents are fixed-width
+    big-endian (the width determined by the group), so every §5.3 formula
+    — [(l+1) * element_bytes] for a Kurosawa bundle, two exponents for a
+    signature — is literally the length of the produced bytes, which the
+    tests assert. Decoding validates group membership, so a corrupted or
+    malicious encoding is rejected rather than processed. *)
+
+type reader
+(** Stateful cursor over received bytes. *)
+
+val reader : bytes -> reader
+val remaining : reader -> int
+
+val encode_element : Group.t -> Group.elt -> bytes
+(** Fixed width: [Group.element_bytes]. *)
+
+val decode_element : Group.t -> reader -> Group.elt
+(** Raises [Failure] on truncation or a value outside the order-q
+    subgroup. *)
+
+val encode_exponent : Group.t -> Group.exponent -> bytes
+val decode_exponent : Group.t -> reader -> Group.exponent
+(** Raises [Failure] on truncation or a value >= q. *)
+
+val encode_ciphertext : Group.t -> Elgamal.ciphertext -> bytes
+val decode_ciphertext : Group.t -> reader -> Elgamal.ciphertext
+
+val encode_multi_bundle : Group.t -> Group.elt * Group.elt list -> bytes
+(** A Kurosawa multi-recipient bundle: shared ephemeral plus [l] bodies,
+    with a 4-byte count prefix. *)
+
+val decode_multi_bundle : Group.t -> reader -> Group.elt * Group.elt list
+
+val encode_signature : Group.t -> Schnorr.signature -> bytes
+val decode_signature : Group.t -> reader -> Schnorr.signature
+
+val encode_bits : Dstress_util.Bitvec.t -> bytes
+(** 4-byte bit-length prefix, then packed bits. *)
+
+val decode_bits : reader -> Dstress_util.Bitvec.t
+
+val multi_bundle_bytes : Group.t -> int -> int
+(** Exact encoded size of an [l]-body bundle (count prefix included). *)

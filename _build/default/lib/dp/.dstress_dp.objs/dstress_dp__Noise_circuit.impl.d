@@ -1,0 +1,1 @@
+lib/dp/noise_circuit.ml: Array Dstress_circuit Float List Mechanism

@@ -1,0 +1,1 @@
+lib/dp/noise_circuit.mli: Dstress_circuit

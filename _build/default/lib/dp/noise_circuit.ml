@@ -1,0 +1,48 @@
+module Builder = Dstress_circuit.Builder
+module Word = Dstress_circuit.Word
+
+let default_uniform_bits = 32
+
+let check_params ~alpha ~max_magnitude =
+  if alpha <= 0.0 || alpha >= 1.0 then invalid_arg "Noise_circuit: alpha out of (0,1)";
+  if max_magnitude < 1 then invalid_arg "Noise_circuit: max_magnitude < 1"
+
+let thresholds ~alpha ~max_magnitude ~uniform_bits =
+  check_params ~alpha ~max_magnitude;
+  let scale = 2.0 ** float_of_int uniform_bits in
+  let cap = (1 lsl uniform_bits) - 1 in
+  Array.init max_magnitude (fun k ->
+      let t = Float.round (Mechanism.cdf_two_sided ~alpha k *. scale) in
+      let t = int_of_float t in
+      if t > cap then cap else t)
+
+(* The magnitude is sum_k [uniform >= T_k]: the uniform word clears the
+   first m thresholds iff the magnitude is at least m... precisely,
+   P(magnitude > k) = P(U >= T_k) = 1 - F(k). *)
+let magnitude b ~alpha ~max_magnitude ~uniform =
+  check_params ~alpha ~max_magnitude;
+  let ubits = Word.width uniform in
+  let ts = thresholds ~alpha ~max_magnitude ~uniform_bits:ubits in
+  let out_bits =
+    let rec width v acc = if v = 0 then acc else width (v lsr 1) (acc + 1) in
+    max 1 (width max_magnitude 0)
+  in
+  let indicator k =
+    let threshold = Word.constant b ~bits:ubits ts.(k) in
+    [| Word.ge b uniform threshold |]
+  in
+  let terms = List.init max_magnitude indicator in
+  Word.sum b ~bits:out_bits terms
+
+let signed_noise b ~alpha ~max_magnitude ~bits ~uniform ~sign =
+  let mag = magnitude b ~alpha ~max_magnitude ~uniform in
+  if Word.width mag > bits then
+    invalid_arg "Noise_circuit.signed_noise: bits too narrow for max_magnitude";
+  let mag = Word.zero_extend b mag ~bits in
+  let negated = Word.negate b mag in
+  Word.mux b sign negated mag
+
+let add_noise b ~alpha ~max_magnitude ~value ~uniform ~sign =
+  let bits = Word.width value in
+  let noise = signed_noise b ~alpha ~max_magnitude ~bits ~uniform ~sign in
+  Word.add b value noise

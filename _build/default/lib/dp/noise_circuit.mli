@@ -1,0 +1,59 @@
+(** In-circuit noise generation.
+
+    The aggregation block must add DP noise *inside* MPC so that no party
+    ever sees the exact aggregate (§3.6: the members of [B_A] combine
+    random shares into a seed and draw the noise term in-circuit). The
+    paper cites the Dwork et al. (EUROCRYPT'06) circuit design; this module
+    implements the same idea in comparator form: uniform random bits
+    (XOR-contributed by all block members, so they are uniform as long as
+    one member is honest) are compared against precomputed cumulative
+    thresholds of the target distribution, and the count of exceeded
+    thresholds is the noise magnitude.
+
+    The target distribution is the two-sided geometric with
+    [alpha = exp(-epsilon / sensitivity)] — the discrete analogue of the
+    paper's Laplace draw, giving the same [eps]-DP guarantee for the
+    integer-valued TDS. The distribution is truncated at [max_magnitude]
+    (the tail mass [alpha^max_magnitude] is the truncation error; callers
+    size it like the Appendix-B lookup-table analysis). *)
+
+val default_uniform_bits : int
+(** Uniform input width per draw (32): threshold resolution 2^-32. *)
+
+val magnitude :
+  Dstress_circuit.Builder.t ->
+  alpha:float ->
+  max_magnitude:int ->
+  uniform:Dstress_circuit.Word.t ->
+  Dstress_circuit.Word.t
+(** [magnitude b ~alpha ~max_magnitude ~uniform] counts how many of the
+    [max_magnitude] cumulative thresholds the uniform word exceeds; the
+    result (width [ceil(log2(max_magnitude+1))]) is geometrically
+    distributed with parameter [alpha], saturating at [max_magnitude].
+    Raises [Invalid_argument] for [alpha] outside (0,1) or
+    [max_magnitude < 1]. *)
+
+val signed_noise :
+  Dstress_circuit.Builder.t ->
+  alpha:float ->
+  max_magnitude:int ->
+  bits:int ->
+  uniform:Dstress_circuit.Word.t ->
+  sign:Dstress_circuit.Builder.wire ->
+  Dstress_circuit.Word.t
+(** Two's-complement noise of [bits] bits: [sign] flips the magnitude.
+    (A symmetric distribution is insensitive to the sign convention at 0.) *)
+
+val add_noise :
+  Dstress_circuit.Builder.t ->
+  alpha:float ->
+  max_magnitude:int ->
+  value:Dstress_circuit.Word.t ->
+  uniform:Dstress_circuit.Word.t ->
+  sign:Dstress_circuit.Builder.wire ->
+  Dstress_circuit.Word.t
+(** [value + noise], wrapping at the width of [value]. *)
+
+val thresholds : alpha:float -> max_magnitude:int -> uniform_bits:int -> int array
+(** The threshold constants (exposed for tests): entry [k] is
+    [round(P(|Y| <= k) * 2^uniform_bits)]. *)

@@ -1,0 +1,1 @@
+lib/graphgen/banking.ml: Array Dstress_risk Dstress_util List Topology

@@ -1,0 +1,1 @@
+lib/graphgen/banking.mli: Dstress_risk Dstress_util Topology

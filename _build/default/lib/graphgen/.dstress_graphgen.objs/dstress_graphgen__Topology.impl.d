@@ -1,0 +1,1 @@
+lib/graphgen/topology.ml: Array Dstress_util Hashtbl List

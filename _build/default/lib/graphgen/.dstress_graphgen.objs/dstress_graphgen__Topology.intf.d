@@ -1,0 +1,1 @@
+lib/graphgen/topology.mli: Dstress_util

@@ -1,0 +1,107 @@
+module Prng = Dstress_util.Prng
+module Reference = Dstress_risk.Reference
+
+type shock = Absorbed | Cascade
+
+let is_core topo i = List.mem i topo.Topology.core
+
+let en_of_topology prng topo ?(core_cash = 120.0) ?(peripheral_cash = 14.0)
+    ?(core_debt = 30.0) ?(peripheral_debt = 8.0) () =
+  let n = topo.Topology.n in
+  let jitter () = 0.85 +. (0.3 *. Prng.float prng) in
+  let cash =
+    Array.init n (fun i ->
+        (if is_core topo i then core_cash else peripheral_cash) *. jitter ())
+  in
+  (* Between two core banks, debts are symmetric and large. On a
+     core-periphery link the regional bank is a net borrower: it owes the
+     full peripheral amount while the core bank owes back only half —
+     which is what makes a drained regional bank actually insolvent. *)
+  let debts =
+    List.concat_map
+      (fun (a, b) ->
+        if is_core topo a && is_core topo b then
+          [ (a, b, core_debt *. jitter ()); (b, a, core_debt *. jitter ()) ]
+        else begin
+          let peripheral, core = if is_core topo a then (b, a) else (a, b) in
+          [
+            (peripheral, core, peripheral_debt *. jitter ());
+            (core, peripheral, 0.5 *. peripheral_debt *. jitter ());
+          ]
+        end)
+      topo.Topology.links
+  in
+  { Reference.en_n = n; cash; debts }
+
+let egj_of_topology prng topo ?(core_assets = 120.0) ?(peripheral_assets = 14.0)
+    ?(cross_share = 0.05) ?(threshold_ratio = 0.85) ?(penalty_ratio = 0.2) () =
+  let n = topo.Topology.n in
+  let jitter () = 0.85 +. (0.3 *. Prng.float prng) in
+  let base =
+    Array.init n (fun i ->
+        (if is_core topo i then core_assets else peripheral_assets) *. jitter ())
+  in
+  let holdings =
+    List.concat_map
+      (fun (a, b) -> [ (a, b, cross_share); (b, a, cross_share) ])
+      topo.Topology.links
+  in
+  (* orig_val is the healthy fixpoint: with zero discounts, a bank is
+     worth its base assets plus its stakes at issuers' original values.
+     Solve by a short fixpoint iteration on v = base + S v. *)
+  let v = Array.copy base in
+  for _ = 1 to 60 do
+    let fresh = Array.copy base in
+    List.iter (fun (h, iss, s) -> fresh.(h) <- fresh.(h) +. (s *. v.(iss))) holdings;
+    Array.blit fresh 0 v 0 n
+  done;
+  {
+    Reference.egj_n = n;
+    base_assets = base;
+    orig_val = v;
+    threshold = Array.map (fun x -> threshold_ratio *. x) v;
+    penalty = Array.map (fun x -> penalty_ratio *. x) v;
+    holdings;
+  }
+
+let peripheral_sample prng topo count =
+  let periphery =
+    List.filter (fun i -> not (is_core topo i)) (List.init topo.Topology.n (fun i -> i))
+  in
+  let arr = Array.of_list periphery in
+  Prng.shuffle prng arr;
+  Array.to_list (Array.sub arr 0 (min count (Array.length arr)))
+
+let shock_en prng inst topo = function
+  | Absorbed ->
+      let hit = peripheral_sample prng topo 5 in
+      let cash = Array.copy inst.Reference.cash in
+      List.iter (fun i -> cash.(i) <- 0.0) hit;
+      { inst with Reference.cash = cash }
+  | Cascade ->
+      (* A systemic event: every regional bank loses its liquidity and the
+         core's buffers are almost gone, so the unpaid periphery inflows
+         push core banks under water and the shortfall amplifies through
+         the densely connected center. *)
+      let cash = Array.copy inst.Reference.cash in
+      Array.iteri (fun i _ -> if not (is_core topo i) then cash.(i) <- 0.0) cash;
+      List.iter (fun c -> cash.(c) <- cash.(c) *. 0.02) topo.Topology.core;
+      { inst with Reference.cash = cash }
+
+let shock_egj prng inst topo = function
+  | Absorbed ->
+      let hit = peripheral_sample prng topo 5 in
+      let base = Array.copy inst.Reference.base_assets in
+      List.iter (fun i -> base.(i) <- base.(i) *. 0.2) hit;
+      { inst with Reference.base_assets = base }
+  | Cascade ->
+      let hit = peripheral_sample prng topo 12 in
+      let base = Array.copy inst.Reference.base_assets in
+      List.iter (fun i -> base.(i) <- base.(i) *. 0.1) hit;
+      List.iter (fun c -> base.(c) <- base.(c) *. 0.35) topo.Topology.core;
+      { inst with Reference.base_assets = base }
+
+let appendix_c_network prng shock =
+  let topo = Topology.core_periphery prng ~core:10 ~periphery:40 () in
+  let inst = en_of_topology prng topo () in
+  (shock_en prng inst topo shock, topo)

@@ -1,0 +1,53 @@
+(** Balance-sheet generators: dress a {!Topology} up as an Eisenberg–Noe
+    or Elliott–Golub–Jackson economy, and apply stress scenarios.
+
+    The two Appendix-C scenarios are reproduced exactly as described: a
+    50-bank two-tier network where a shock to regional banks is either
+    absorbed by the core or takes the whole core down in a cascade. Core
+    banks get large balance sheets, peripheral banks small ones; a shock
+    removes liquid assets from chosen banks before the stress test runs. *)
+
+type shock = Absorbed | Cascade
+
+val en_of_topology :
+  Dstress_util.Prng.t ->
+  Topology.t ->
+  ?core_cash:float ->
+  ?peripheral_cash:float ->
+  ?core_debt:float ->
+  ?peripheral_debt:float ->
+  unit ->
+  Dstress_risk.Reference.en_instance
+(** Every undirected link becomes two opposite debts (core scale between
+    core banks, peripheral scale otherwise). Defaults: core cash 120,
+    peripheral cash 14, core debt 30, peripheral debt 8. *)
+
+val egj_of_topology :
+  Dstress_util.Prng.t ->
+  Topology.t ->
+  ?core_assets:float ->
+  ?peripheral_assets:float ->
+  ?cross_share:float ->
+  ?threshold_ratio:float ->
+  ?penalty_ratio:float ->
+  unit ->
+  Dstress_risk.Reference.egj_instance
+(** Every undirected link becomes mutual equity cross-holdings of
+    [cross_share] (default 0.05). [orig_val] is set consistently to the
+    no-stress fixpoint value (base plus stakes at full value); thresholds
+    and penalties are ratios of it (defaults 0.85 and 0.2). *)
+
+val shock_en :
+  Dstress_util.Prng.t -> Dstress_risk.Reference.en_instance -> Topology.t -> shock ->
+  Dstress_risk.Reference.en_instance
+(** [Absorbed]: wipe the cash of a handful of peripheral banks.
+    [Cascade]: additionally drain most core liquidity, so shortfalls
+    propagate through the dense core. *)
+
+val shock_egj :
+  Dstress_util.Prng.t -> Dstress_risk.Reference.egj_instance -> Topology.t -> shock ->
+  Dstress_risk.Reference.egj_instance
+
+val appendix_c_network :
+  Dstress_util.Prng.t -> shock -> Dstress_risk.Reference.en_instance * Topology.t
+(** The 50-bank (10 core + 40 peripheral) Appendix-C experiment, shocked. *)

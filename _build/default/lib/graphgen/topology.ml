@@ -1,0 +1,109 @@
+module Prng = Dstress_util.Prng
+
+type t = { n : int; links : (int * int) list; core : int list }
+
+let degree_table t =
+  let deg = Array.make t.n 0 in
+  List.iter
+    (fun (a, b) ->
+      deg.(a) <- deg.(a) + 1;
+      deg.(b) <- deg.(b) + 1)
+    t.links;
+  deg
+
+let max_degree t = Array.fold_left max 0 (degree_table t)
+
+(* Link accumulator with dedup and degree capping. *)
+module Acc = struct
+  type acc = {
+    cap : int;
+    deg : int array;
+    seen : (int * int, unit) Hashtbl.t;
+    mutable links : (int * int) list;
+  }
+
+  let create n cap = { cap; deg = Array.make n 0; seen = Hashtbl.create 64; links = [] }
+
+  let norm a b = if a < b then (a, b) else (b, a)
+
+  let can_add t a b =
+    a <> b
+    && (not (Hashtbl.mem t.seen (norm a b)))
+    && t.deg.(a) < t.cap
+    && t.deg.(b) < t.cap
+
+  let add t a b =
+    if can_add t a b then begin
+      Hashtbl.replace t.seen (norm a b) ();
+      t.deg.(a) <- t.deg.(a) + 1;
+      t.deg.(b) <- t.deg.(b) + 1;
+      t.links <- norm a b :: t.links;
+      true
+    end
+    else false
+
+  let links t = List.sort compare t.links
+end
+
+let core_periphery prng ~core ~periphery ?(core_density = 0.9) ?(periphery_links = 2) () =
+  if core < 2 || periphery < 0 then invalid_arg "Topology.core_periphery";
+  let n = core + periphery in
+  let acc = Acc.create n max_int in
+  (* Dense core: banks 0 .. core-1. *)
+  for a = 0 to core - 1 do
+    for b = a + 1 to core - 1 do
+      if Prng.float prng < core_density then ignore (Acc.add acc a b)
+    done
+  done;
+  (* Each peripheral bank attaches to one or two distinct core banks. *)
+  for p = core to n - 1 do
+    let count = 1 + Prng.int prng periphery_links in
+    let targets = Prng.sample_without_replacement prng (min count core) core in
+    List.iter (fun c -> ignore (Acc.add acc p c)) targets
+  done;
+  { n; links = Acc.links acc; core = List.init core (fun i -> i) }
+
+let scale_free prng ~n ~attach ~max_degree =
+  if n < attach + 1 || attach < 1 then invalid_arg "Topology.scale_free";
+  let acc = Acc.create n max_degree in
+  (* Seed clique on the first attach+1 vertices. *)
+  for a = 0 to attach do
+    for b = a + 1 to attach do
+      ignore (Acc.add acc a b)
+    done
+  done;
+  (* Degree-proportional sampling via the repeated-endpoints trick. *)
+  let endpoints = ref [] in
+  List.iter
+    (fun (a, b) -> endpoints := a :: b :: !endpoints)
+    acc.Acc.links;
+  for v = attach + 1 to n - 1 do
+    let added = ref 0 in
+    let attempts = ref 0 in
+    while !added < attach && !attempts < 50 * attach do
+      incr attempts;
+      let pool = Array.of_list !endpoints in
+      let target = if Array.length pool = 0 then Prng.int prng v else Prng.pick prng pool in
+      if Acc.add acc v target then begin
+        incr added;
+        endpoints := v :: target :: !endpoints
+      end
+    done
+  done;
+  { n; links = Acc.links acc; core = [] }
+
+let erdos_renyi prng ~n ~avg_degree ~max_degree =
+  if n < 2 then invalid_arg "Topology.erdos_renyi";
+  let p = avg_degree /. float_of_int (n - 1) in
+  let acc = Acc.create n max_degree in
+  for a = 0 to n - 1 do
+    for b = a + 1 to n - 1 do
+      if Prng.float prng < p then ignore (Acc.add acc a b)
+    done
+  done;
+  { n; links = Acc.links acc; core = [] }
+
+let ring ~n =
+  if n < 3 then invalid_arg "Topology.ring";
+  let links = List.init n (fun i -> Acc.norm i ((i + 1) mod n)) in
+  { n; links = List.sort compare links; core = [] }

@@ -1,0 +1,43 @@
+(** Synthetic interbank network topologies.
+
+    No public interbank dataset exists (the privacy problem DStress solves
+    is precisely why), so the paper — following the empirical literature
+    it cites (Cocco et al.) — evaluates on synthetic two-tier networks.
+    This module generates the three families used across the test suite
+    and benchmarks: core–periphery (Appendix C), scale-free preferential
+    attachment, and Erdős–Rényi. All generators respect an explicit
+    degree cap, matching the system's public degree bound D. *)
+
+type t = {
+  n : int;
+  links : (int * int) list;  (** undirected, each with [fst < snd] *)
+  core : int list;  (** core members for two-tier families, else [] *)
+}
+
+val degree_table : t -> int array
+
+val max_degree : t -> int
+
+val core_periphery :
+  Dstress_util.Prng.t ->
+  core:int ->
+  periphery:int ->
+  ?core_density:float ->
+  ?periphery_links:int ->
+  unit ->
+  t
+(** Appendix C's two-tier structure: a densely connected core
+    ([core_density] of all core pairs linked, default 0.9) and peripheral
+    banks each linked to 1..[periphery_links] core banks (default 2). *)
+
+val scale_free :
+  Dstress_util.Prng.t -> n:int -> attach:int -> max_degree:int -> t
+(** Barabási–Albert preferential attachment: each new vertex links to
+    [attach] existing vertices with probability proportional to degree,
+    skipping saturated vertices. *)
+
+val erdos_renyi : Dstress_util.Prng.t -> n:int -> avg_degree:float -> max_degree:int -> t
+(** Uniform random links with expected degree [avg_degree], capped. *)
+
+val ring : n:int -> t
+(** Deterministic cycle — handy for tests and minimal examples. *)

@@ -1,0 +1,1 @@
+lib/mpc/gmw.ml: Array Dstress_circuit Dstress_crypto Dstress_util List Printf Sharing Traffic

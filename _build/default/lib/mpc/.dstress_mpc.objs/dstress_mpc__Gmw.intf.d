@@ -1,0 +1,1 @@
+lib/mpc/gmw.mli: Dstress_circuit Dstress_crypto Dstress_util Traffic

@@ -1,0 +1,1 @@
+lib/mpc/sharing.ml: Array Dstress_crypto Dstress_util

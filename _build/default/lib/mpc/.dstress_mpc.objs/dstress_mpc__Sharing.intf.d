@@ -1,0 +1,1 @@
+lib/mpc/sharing.mli: Dstress_crypto Dstress_util

@@ -1,0 +1,1 @@
+lib/mpc/traffic.ml: Array Format

@@ -1,0 +1,1 @@
+lib/mpc/traffic.mli: Format

@@ -1,0 +1,183 @@
+module Bitvec = Dstress_util.Bitvec
+module Prg = Dstress_crypto.Prg
+module Meter = Dstress_crypto.Meter
+module Ot_ext = Dstress_crypto.Ot_ext
+module Circuit = Dstress_circuit.Circuit
+
+type session = {
+  mode : Ot_ext.mode;
+  grp : Dstress_crypto.Group.t;
+  n : int;
+  prgs : Prg.t array; (* per-party local randomness *)
+  ot : Ot_ext.session option array array; (* [sender][receiver], lazy *)
+  traffic : Traffic.t;
+  mutable rounds : int;
+  mutable and_gates : int;
+  mutable ots : int;
+}
+
+let create_session ?(mode = Ot_ext.Crypto) grp ~parties ~seed =
+  if parties < 2 then invalid_arg "Gmw.create_session: parties < 2";
+  let prgs =
+    Array.init parties (fun p -> Prg.of_string (Printf.sprintf "gmw:%s:party:%d" seed p))
+  in
+  {
+    mode;
+    grp;
+    n = parties;
+    prgs;
+    ot = Array.make_matrix parties parties None;
+    traffic = Traffic.create parties;
+    rounds = 0;
+    and_gates = 0;
+    ots = 0;
+  }
+
+let parties s = s.n
+
+(* Fold a pairwise meter (a = sender, b = receiver) into the traffic
+   matrix and reset it. *)
+let drain_meter s meter ~sender ~receiver =
+  Traffic.add s.traffic ~src:sender ~dst:receiver meter.Meter.a_to_b;
+  Traffic.add s.traffic ~src:receiver ~dst:sender meter.Meter.b_to_a;
+  Meter.reset meter
+
+let ot_session s ~sender ~receiver =
+  match s.ot.(sender).(receiver) with
+  | Some session -> session
+  | None ->
+      let meter = Meter.create () in
+      let session =
+        Ot_ext.setup ~mode:s.mode s.grp meter ~sender_prg:s.prgs.(sender)
+          ~receiver_prg:s.prgs.(receiver)
+      in
+      drain_meter s meter ~sender ~receiver;
+      s.ot.(sender).(receiver) <- Some session;
+      session
+
+let share_input s v = Sharing.share s.prgs.(0) ~parties:s.n v
+
+(* One communication round: evaluate the batch of AND gates [pending]
+   (wire indices) given per-party wire values [vals]. For the cross term
+   x_p * y_q of ordered pair (p, q), sender p masks with a fresh random
+   bit a and offers (a, a XOR x_p); receiver q selects with y_q and adds
+   the result to its share. *)
+let and_round s vals pending xs ys =
+  let m = Array.length pending in
+  (* Local terms x_p * y_p. *)
+  for p = 0 to s.n - 1 do
+    Array.iteri (fun idx w -> vals.(p).(w) <- xs.(p).(idx) && ys.(p).(idx)) pending
+  done;
+  for sender = 0 to s.n - 1 do
+    for receiver = 0 to s.n - 1 do
+      if sender <> receiver then begin
+        let session = ot_session s ~sender ~receiver in
+        let masks = Array.init m (fun _ -> Prg.bool s.prgs.(sender)) in
+        let pairs = Array.init m (fun idx -> (masks.(idx), masks.(idx) <> xs.(sender).(idx))) in
+        let choices = Array.init m (fun idx -> ys.(receiver).(idx)) in
+        let meter = Meter.create () in
+        let outs = Ot_ext.extend_bits session meter ~pairs ~choices in
+        drain_meter s meter ~sender ~receiver;
+        Array.iteri
+          (fun idx w ->
+            vals.(sender).(w) <- vals.(sender).(w) <> masks.(idx);
+            vals.(receiver).(w) <- vals.(receiver).(w) <> outs.(idx))
+          pending;
+        s.ots <- s.ots + m
+      end
+    done
+  done;
+  s.and_gates <- s.and_gates + m;
+  s.rounds <- s.rounds + 1
+
+let eval s circuit ~input_shares =
+  if Array.length input_shares <> s.n then
+    invalid_arg "Gmw.eval: need one input share vector per party";
+  Array.iter
+    (fun v ->
+      if Bitvec.length v <> circuit.Circuit.num_inputs then
+        invalid_arg "Gmw.eval: input share length mismatch")
+    input_shares;
+  let gates = circuit.Circuit.gates in
+  let ngates = Array.length gates in
+  let vals = Array.init s.n (fun _ -> Array.make ngates false) in
+  let computed = Array.make ngates false in
+  (* Repeat: sweep the (topologically ordered) gate list computing every
+     local gate whose dependencies are ready; collect the ready AND gates
+     and evaluate them as one batched communication round. *)
+  let rec sweep () =
+    let pending = ref [] in
+    Array.iteri
+      (fun i g ->
+        if not computed.(i) then
+          match g with
+          | Circuit.Input k ->
+              for p = 0 to s.n - 1 do
+                vals.(p).(i) <- Bitvec.get input_shares.(p) k
+              done;
+              computed.(i) <- true
+          | Circuit.Const b ->
+              vals.(0).(i) <- b;
+              computed.(i) <- true
+          | Circuit.Not a ->
+              if computed.(a) then begin
+                for p = 0 to s.n - 1 do
+                  vals.(p).(i) <- (if p = 0 then not vals.(p).(a) else vals.(p).(a))
+                done;
+                computed.(i) <- true
+              end
+          | Circuit.Xor (a, b) ->
+              if computed.(a) && computed.(b) then begin
+                for p = 0 to s.n - 1 do
+                  vals.(p).(i) <- vals.(p).(a) <> vals.(p).(b)
+                done;
+                computed.(i) <- true
+              end
+          | Circuit.And (a, b) ->
+              if computed.(a) && computed.(b) then pending := i :: !pending)
+      gates;
+    match List.rev !pending with
+    | [] -> ()
+    | ready ->
+        let batch = Array.of_list ready in
+        let operand sel =
+          Array.init s.n (fun p ->
+              Array.map
+                (fun w ->
+                  match gates.(w) with
+                  | Circuit.And (a, b) -> vals.(p).(if sel then a else b)
+                  | Circuit.Input _ | Circuit.Const _ | Circuit.Not _ | Circuit.Xor _ ->
+                      assert false)
+                batch)
+        in
+        let xs = operand true and ys = operand false in
+        and_round s vals batch xs ys;
+        Array.iter (fun w -> computed.(w) <- true) batch;
+        sweep ()
+  in
+  sweep ();
+  (* Anything still uncomputed would mean a cyclic circuit, which
+     Circuit.make rules out. *)
+  assert (Array.for_all (fun c -> c) computed);
+  Array.init s.n (fun p ->
+      Bitvec.init (Array.length circuit.Circuit.outputs) (fun o ->
+          vals.(p).(circuit.Circuit.outputs.(o))))
+
+let reveal s shares =
+  let bits = Bitvec.length shares.(0) in
+  let bytes = (bits + 7) / 8 in
+  (* All-to-all broadcast of shares. *)
+  for src = 0 to s.n - 1 do
+    for dst = 0 to s.n - 1 do
+      if src <> dst then Traffic.add s.traffic ~src ~dst bytes
+    done
+  done;
+  Sharing.reconstruct shares
+
+let traffic s = s.traffic
+
+let reset_traffic s = Traffic.clear s.traffic
+
+let rounds s = s.rounds
+let and_gates_evaluated s = s.and_gates
+let ots_performed s = s.ots

@@ -1,0 +1,65 @@
+(** GMW n-party secure computation over boolean circuits
+    (Goldreich–Micali–Wigderson, STOC'87) — the MPC engine DStress uses for
+    every vertex computation step, the aggregation step and the noising
+    step.
+
+    Wires carry XOR shares: each of the [k+1] parties holds one bit per
+    wire and the cleartext value is the XOR of all of them.
+    - XOR and NOT gates are evaluated locally (free);
+    - AND gates use one 1-out-of-2 oblivious transfer per *ordered* party
+      pair, batched per circuit AND-level and served by the IKNP extension
+      ({!Dstress_crypto.Ot_ext}), so the number of communication rounds per
+      circuit equals its AND depth.
+
+    All parties are simulated in-process; every byte that would cross the
+    wire is recorded in a {!Traffic} matrix, and the cumulative counters
+    ({!rounds}, {!and_gates_evaluated}, {!ots_performed}) feed the cost
+    model that reproduces the paper's scalability projections. *)
+
+type session
+
+val create_session :
+  ?mode:Dstress_crypto.Ot_ext.mode ->
+  Dstress_crypto.Group.t ->
+  parties:int ->
+  seed:string ->
+  session
+(** [create_session grp ~parties ~seed] prepares per-party randomness.
+    OT-extension sessions between party pairs are established lazily on
+    first use (and their base-OT traffic is charged at that point).
+    Default mode is [Crypto]; [Simulation] swaps in the fast OT back end
+    (see {!Dstress_crypto.Ot_ext}). Raises [Invalid_argument] if
+    [parties < 2]. *)
+
+val parties : session -> int
+
+val share_input : session -> Dstress_util.Bitvec.t -> Dstress_util.Bitvec.t array
+(** Split a cleartext input vector into per-party XOR shares using the
+    session's dealer randomness (test/benchmark convenience — in DStress
+    proper, inputs arrive already shared). *)
+
+val eval :
+  session ->
+  Dstress_circuit.Circuit.t ->
+  input_shares:Dstress_util.Bitvec.t array ->
+  Dstress_util.Bitvec.t array
+(** [eval s c ~input_shares] runs the protocol. [input_shares] has one
+    vector of length [c.num_inputs] per party; the result has one vector of
+    length [Array.length c.outputs] per party, XOR-sharing the outputs
+    (outputs are *not* revealed — DStress keeps them shared, §3.6).
+    Raises [Invalid_argument] on shape mismatches. *)
+
+val reveal : session -> Dstress_util.Bitvec.t array -> Dstress_util.Bitvec.t
+(** Open shared values by all-to-all broadcast of shares (metered). *)
+
+val traffic : session -> Traffic.t
+(** Cumulative traffic matrix (live reference; use {!reset_traffic} to
+    start a fresh measurement window). *)
+
+val reset_traffic : session -> unit
+
+val rounds : session -> int
+(** Cumulative AND rounds across all [eval] calls. *)
+
+val and_gates_evaluated : session -> int
+val ots_performed : session -> int

@@ -1,0 +1,61 @@
+type t = { n : int; bytes : int array (* row-major [src * n + dst] *) }
+
+let create n =
+  if n < 1 then invalid_arg "Traffic.create: n < 1";
+  { n; bytes = Array.make (n * n) 0 }
+
+let parties t = t.n
+
+let add t ~src ~dst amount =
+  if src < 0 || src >= t.n || dst < 0 || dst >= t.n then
+    invalid_arg "Traffic.add: party out of range";
+  if amount < 0 then invalid_arg "Traffic.add: negative bytes";
+  let i = (src * t.n) + dst in
+  t.bytes.(i) <- t.bytes.(i) + amount
+
+let sent_by t p =
+  let acc = ref 0 in
+  for dst = 0 to t.n - 1 do
+    acc := !acc + t.bytes.((p * t.n) + dst)
+  done;
+  !acc
+
+let received_by t p =
+  let acc = ref 0 in
+  for src = 0 to t.n - 1 do
+    acc := !acc + t.bytes.((src * t.n) + p)
+  done;
+  !acc
+
+let by_node t p = sent_by t p + received_by t p
+
+let total t = Array.fold_left ( + ) 0 t.bytes
+
+let max_per_node t =
+  let best = ref 0 in
+  for p = 0 to t.n - 1 do
+    if by_node t p > !best then best := by_node t p
+  done;
+  !best
+
+let mean_per_node t =
+  let acc = ref 0 in
+  for p = 0 to t.n - 1 do
+    acc := !acc + by_node t p
+  done;
+  float_of_int !acc /. float_of_int t.n
+
+let merge_into ~dst src =
+  if dst.n <> src.n then invalid_arg "Traffic.merge_into: size mismatch";
+  Array.iteri (fun i v -> dst.bytes.(i) <- dst.bytes.(i) + v) src.bytes
+
+let clear t = Array.fill t.bytes 0 (Array.length t.bytes) 0
+
+let iter_nonzero t f =
+  Array.iteri
+    (fun i v -> if v <> 0 then f ~src:(i / t.n) ~dst:(i mod t.n) v)
+    t.bytes
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>traffic over %d parties: %d B total, max/node %d B@]" t.n
+    (total t) (max_per_node t)

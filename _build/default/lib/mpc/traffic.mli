@@ -1,0 +1,39 @@
+(** Per-party traffic matrix.
+
+    The evaluation sections of the paper (Figures 4–6) report traffic *per
+    node*, so the MPC engine and the transfer protocol record every byte as
+    a directed (sender, receiver) entry, from which per-node send/receive
+    totals fall out. *)
+
+type t
+
+val create : int -> t
+(** [create n] for [n] parties. *)
+
+val parties : t -> int
+
+val add : t -> src:int -> dst:int -> int -> unit
+(** Raises [Invalid_argument] on out-of-range parties or negative bytes. *)
+
+val sent_by : t -> int -> int
+val received_by : t -> int -> int
+
+val by_node : t -> int -> int
+(** Sent plus received. *)
+
+val total : t -> int
+(** All bytes on the wire (each byte counted once). *)
+
+val max_per_node : t -> int
+val mean_per_node : t -> float
+
+val merge_into : dst:t -> t -> unit
+(** Accumulates another matrix of the same size. *)
+
+val clear : t -> unit
+(** Zeroes every entry. *)
+
+val iter_nonzero : t -> (src:int -> dst:int -> int -> unit) -> unit
+(** Visit every nonzero directed entry. *)
+
+val pp : Format.formatter -> t -> unit

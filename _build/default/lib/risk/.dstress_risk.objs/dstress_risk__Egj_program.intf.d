@@ -1,0 +1,1 @@
+lib/risk/egj_program.mli: Dstress_runtime Dstress_util Reference

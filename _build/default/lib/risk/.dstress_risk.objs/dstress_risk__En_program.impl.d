@@ -1,0 +1,1 @@
+lib/risk/en_program.ml: Array Dstress_circuit Dstress_runtime Dstress_util Float Hashtbl List Option Printf Reference

@@ -1,0 +1,1 @@
+lib/risk/en_program.mli: Dstress_runtime Dstress_util Reference

@@ -1,0 +1,1 @@
+lib/risk/reference.ml: Array Float Hashtbl List

@@ -1,0 +1,1 @@
+lib/runtime/engine.ml: Array Dstress_circuit Dstress_crypto Dstress_dp Dstress_mpc Dstress_transfer Dstress_util Format Graph Hashtbl Int64 List Printf Unix Vertex_program

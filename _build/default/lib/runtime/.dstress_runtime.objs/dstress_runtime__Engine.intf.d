@@ -1,0 +1,1 @@
+lib/runtime/engine.mli: Dstress_circuit Dstress_crypto Dstress_mpc Dstress_util Format Graph Vertex_program

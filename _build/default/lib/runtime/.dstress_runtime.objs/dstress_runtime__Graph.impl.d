@@ -1,0 +1,1 @@
+lib/runtime/graph.ml: Array Format Hashtbl List

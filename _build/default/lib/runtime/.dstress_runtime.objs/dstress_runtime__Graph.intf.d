@@ -1,0 +1,1 @@
+lib/runtime/graph.mli: Format

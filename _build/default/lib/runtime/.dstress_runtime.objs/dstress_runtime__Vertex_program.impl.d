@@ -1,0 +1,1 @@
+lib/runtime/vertex_program.ml: Array Dstress_circuit Dstress_dp

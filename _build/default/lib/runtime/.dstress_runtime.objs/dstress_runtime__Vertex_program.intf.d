@@ -1,0 +1,1 @@
+lib/runtime/vertex_program.mli: Dstress_circuit

@@ -1,0 +1,384 @@
+module Bitvec = Dstress_util.Bitvec
+module Prng = Dstress_util.Prng
+module Prg = Dstress_crypto.Prg
+module Group = Dstress_crypto.Group
+module Exp_elgamal = Dstress_crypto.Exp_elgamal
+module Ot_ext = Dstress_crypto.Ot_ext
+module Circuit = Dstress_circuit.Circuit
+module Traffic = Dstress_mpc.Traffic
+module Sharing = Dstress_mpc.Sharing
+module Gmw = Dstress_mpc.Gmw
+module Setup = Dstress_transfer.Setup
+module Protocol = Dstress_transfer.Protocol
+module Noise_circuit = Dstress_dp.Noise_circuit
+
+type aggregation = Single_block | Two_level of int
+
+type config = {
+  grp : Group.t;
+  k : int;
+  degree_bound : int;
+  ot_mode : Ot_ext.mode;
+  transfer_alpha : float;
+  table_radius : int;
+  aggregation : aggregation;
+  seed : string;
+}
+
+let default_config ?(seed = "dstress") grp ~k ~degree_bound =
+  {
+    grp;
+    k;
+    degree_bound;
+    ot_mode = Ot_ext.Simulation;
+    transfer_alpha = 0.5;
+    table_radius = 120;
+    aggregation = Single_block;
+    seed;
+  }
+
+type phase = Setup | Initialization | Computation | Communication | Aggregation
+
+let phase_name = function
+  | Setup -> "setup"
+  | Initialization -> "initialization"
+  | Computation -> "computation"
+  | Communication -> "communication"
+  | Aggregation -> "aggregation"
+
+let all_phases = [ Setup; Initialization; Computation; Communication; Aggregation ]
+
+type report = {
+  output : int;
+  iterations : int;
+  traffic : Traffic.t;
+  phase_bytes : (phase * int) list;
+  phase_seconds : (phase * float) list;
+  transfer_failures : int;
+  mpc_rounds : int;
+  mpc_and_gates : int;
+  mpc_ots : int;
+  update_stats : Circuit.stats;
+}
+
+(* Accumulates wall-clock seconds and wire bytes per phase. *)
+type accounting = {
+  global : Traffic.t;
+  seconds : (phase, float ref) Hashtbl.t;
+  bytes : (phase, int ref) Hashtbl.t;
+}
+
+let make_accounting n =
+  let seconds = Hashtbl.create 8 and bytes = Hashtbl.create 8 in
+  List.iter
+    (fun p ->
+      Hashtbl.replace seconds p (ref 0.0);
+      Hashtbl.replace bytes p (ref 0))
+    all_phases;
+  { global = Traffic.create n; seconds; bytes }
+
+let in_phase acc phase f =
+  let t0 = Unix.gettimeofday () in
+  let b0 = Traffic.total acc.global in
+  let result = f () in
+  let sec = Hashtbl.find acc.seconds phase and byt = Hashtbl.find acc.bytes phase in
+  sec := !sec +. (Unix.gettimeofday () -. t0);
+  byt := !byt + (Traffic.total acc.global - b0);
+  result
+
+(* Fold a block-local GMW traffic matrix into the global one. *)
+let merge_block_traffic acc session members =
+  Traffic.iter_nonzero (Gmw.traffic session) (fun ~src ~dst v ->
+      Traffic.add acc.global ~src:members.(src) ~dst:members.(dst) v);
+  Gmw.reset_traffic session
+
+(* Re-share values held as XOR shares in source blocks into a destination
+   block: each source member subshares its share and sends one piece to
+   each destination member, who XORs everything received (§3.6). Returns
+   the destination members' shares, one Bitvec per member per value. *)
+let reshare acc prg ~kp1 ~ebytes ~src_blocks ~dst_members values =
+  let payload_bytes bits = ((bits + 7) / 8) + ebytes in
+  List.map2
+    (fun src_block (shares : Bitvec.t array) ->
+      let bits = Bitvec.length shares.(0) in
+      let pieces = Array.map (fun s -> Sharing.subshare prg ~parties:kp1 s) shares in
+      Array.iteri
+        (fun x _ ->
+          Array.iter
+            (fun y_node ->
+              Traffic.add acc.global ~src:src_block.(x) ~dst:y_node (payload_bytes bits))
+            dst_members)
+        pieces;
+      Array.init kp1 (fun y ->
+          Bitvec.xor_all (Array.to_list (Array.map (fun p -> p.(y)) pieces))))
+    src_blocks values
+
+(* Input shares for the noise section of a noised circuit: every member
+   contributes uniform bits; the XOR (the cleartext nobody knows) is
+   uniform as long as one member is honest. *)
+let noise_input_shares prg ~kp1 =
+  let ubits = Noise_circuit.default_uniform_bits in
+  Array.init kp1 (fun _ -> Prg.bits prg (ubits + 1))
+
+let run cfg p ~graph ~initial_states =
+  let n = Graph.n graph in
+  let kp1 = cfg.k + 1 in
+  let d = cfg.degree_bound in
+  let sb = p.Vertex_program.state_bits and l = p.Vertex_program.message_bits in
+  if Array.length initial_states <> n then
+    invalid_arg "Engine.run: one initial state per vertex required";
+  Array.iter
+    (fun s -> if Bitvec.length s <> sb then invalid_arg "Engine.run: bad state width")
+    initial_states;
+  if Graph.max_degree graph > d then invalid_arg "Engine.run: vertex degree exceeds bound";
+  let prg = Prg.of_string ("engine:" ^ cfg.seed) in
+  let noise_prng = Prng.create (Int64.of_int (Hashtbl.hash ("noise:" ^ cfg.seed))) in
+  let acc = make_accounting n in
+  let ebytes = Group.element_bytes cfg.grp in
+  (* --- Setup --------------------------------------------------- *)
+  let setup =
+    in_phase acc Setup (fun () ->
+        let s = Setup.run prg cfg.grp ~n ~k:cfg.k ~degree_bound:d ~bits:l in
+        (* The one-time setup exchange is charged to the TP<->node links;
+           spread uniformly for per-node reporting. *)
+        let per_node = Setup.setup_traffic_bytes s / n in
+        for i = 0 to n - 1 do
+          Traffic.add acc.global ~src:i ~dst:i per_node
+        done;
+        s)
+  in
+  let table =
+    Exp_elgamal.Table.make cfg.grp ~lo:(-cfg.table_radius) ~hi:(kp1 + cfg.table_radius)
+  in
+  let params = { Protocol.alpha = cfg.transfer_alpha; table } in
+  let update_c = Vertex_program.update_circuit p ~degree:d in
+  let sessions =
+    Array.init n (fun i ->
+        Gmw.create_session ~mode:cfg.ot_mode cfg.grp ~parties:kp1
+          ~seed:(Printf.sprintf "%s:block:%d" cfg.seed i))
+  in
+  let zero_msg_shares () = Array.init kp1 (fun _ -> Bitvec.create l false) in
+  (* --- Initialization ------------------------------------------ *)
+  let state_shares =
+    in_phase acc Initialization (fun () ->
+        Array.init n (fun i ->
+            let shares = Sharing.share prg ~parties:kp1 initial_states.(i) in
+            (* Node i distributes state and D no-op message shares to the
+               other members of its block. *)
+            let block = Setup.block_of setup i in
+            let bytes = ((sb + (d * l) + 7) / 8) + ebytes in
+            Array.iter
+              (fun member -> if member <> i then Traffic.add acc.global ~src:i ~dst:member bytes)
+              block;
+            shares))
+  in
+  let msg_in = Array.init n (fun _ -> Array.init d (fun _ -> zero_msg_shares ())) in
+  let out_msgs = Array.init n (fun _ -> Array.init d (fun _ -> zero_msg_shares ())) in
+  let failures = ref 0 in
+  (* --- Computation step ----------------------------------------- *)
+  let compute () =
+    in_phase acc Computation (fun () ->
+        for i = 0 to n - 1 do
+          let input_shares =
+            Array.init kp1 (fun m ->
+                Bitvec.concat
+                  (state_shares.(i).(m)
+                  :: List.init d (fun s -> msg_in.(i).(s).(m))))
+          in
+          let out = Gmw.eval sessions.(i) update_c ~input_shares in
+          Array.iteri
+            (fun m vec ->
+              state_shares.(i).(m) <- Bitvec.sub vec ~pos:0 ~len:sb;
+              for s = 0 to d - 1 do
+                out_msgs.(i).(s).(m) <- Bitvec.sub vec ~pos:(sb + (s * l)) ~len:l
+              done)
+            out;
+          merge_block_traffic acc sessions.(i) (Setup.block_of setup i)
+        done)
+  in
+  (* --- Communication step ---------------------------------------- *)
+  let communicate () =
+    in_phase acc Communication (fun () ->
+        (* Reset all inboxes to no-op shares; real messages overwrite. *)
+        for i = 0 to n - 1 do
+          for s = 0 to d - 1 do
+            msg_in.(i).(s) <- zero_msg_shares ()
+          done
+        done;
+        List.iter
+          (fun (i, j) ->
+            let slot_out = Graph.out_slot graph ~src:i ~dst:j in
+            let shares = Array.copy out_msgs.(i).(slot_out) in
+            let nslot = Graph.neighbor_slot graph ~owner:j ~other:i in
+            let outcome =
+              Protocol.transfer params ~prg ~noise:noise_prng ~traffic:acc.global
+                ~variant:Protocol.Final ~setup ~sender:i ~receiver:j ~neighbor_slot:nslot
+                ~shares
+            in
+            failures := !failures + outcome.Protocol.failures;
+            msg_in.(j).(Graph.in_slot graph ~src:i ~dst:j) <- outcome.Protocol.shares)
+          (Graph.edges graph))
+  in
+  for _it = 1 to p.Vertex_program.iterations do
+    compute ();
+    communicate ()
+  done;
+  (* Final computation step (§3.6): process the last round of messages. *)
+  compute ();
+  (* --- Aggregation + noising ------------------------------------ *)
+  let agg_sessions = ref [] in
+  let eval_in_block ~label members circuit input_shares =
+    let session =
+      Gmw.create_session ~mode:cfg.ot_mode cfg.grp ~parties:kp1
+        ~seed:(Printf.sprintf "%s:agg:%s" cfg.seed label)
+    in
+    agg_sessions := session :: !agg_sessions;
+    let out = Gmw.eval session circuit ~input_shares in
+    merge_block_traffic acc session members;
+    (session, out)
+  in
+  let output_bits =
+    in_phase acc Aggregation (fun () ->
+        let concat_inputs per_value_shares extra =
+          (* per_value_shares : Bitvec array list (one array of kp1 shares
+             per value); build per-member concatenation, appending the
+             per-member extra bits. *)
+          Array.init kp1 (fun m ->
+              Bitvec.concat
+                (List.map (fun shares -> (shares : Bitvec.t array).(m)) per_value_shares
+                @ [ extra.(m) ]))
+        in
+        match cfg.aggregation with
+        | Single_block ->
+            let dst_members = setup.Setup.agg_block in
+            let src_blocks = List.init n (fun i -> Setup.block_of setup i) in
+            let values = List.init n (fun i -> state_shares.(i)) in
+            let reshared = reshare acc prg ~kp1 ~ebytes ~src_blocks ~dst_members values in
+            let noise = noise_input_shares prg ~kp1 in
+            let inputs = concat_inputs reshared noise in
+            let circuit = Vertex_program.aggregate_circuit p ~count:n in
+            let session, out = eval_in_block ~label:"root" dst_members circuit inputs in
+            let revealed = Gmw.reveal session out in
+            merge_block_traffic acc session dst_members;
+            revealed
+        | Two_level fanout ->
+            if fanout < 1 then invalid_arg "Engine.run: bad aggregation fan-out";
+            let groups =
+              let rec chunks start =
+                if start >= n then []
+                else begin
+                  let len = min fanout (n - start) in
+                  List.init len (fun o -> start + o) :: chunks (start + len)
+                end
+              in
+              chunks 0
+            in
+            let empty_extra = Array.init kp1 (fun _ -> Bitvec.create 0 false) in
+            let partials =
+              List.mapi
+                (fun gi group ->
+                  let leaf_members = Setup.block_of setup (List.hd group) in
+                  let src_blocks = List.map (Setup.block_of setup) group in
+                  let values = List.map (fun i -> state_shares.(i)) group in
+                  let reshared =
+                    reshare acc prg ~kp1 ~ebytes ~src_blocks ~dst_members:leaf_members values
+                  in
+                  let inputs = concat_inputs reshared empty_extra in
+                  let circuit =
+                    Vertex_program.partial_aggregate_circuit p ~count:(List.length group)
+                  in
+                  let _, out =
+                    eval_in_block ~label:(Printf.sprintf "leaf:%d" gi) leaf_members circuit
+                      inputs
+                  in
+                  (leaf_members, out))
+                groups
+            in
+            let dst_members = setup.Setup.agg_block in
+            let src_blocks = List.map fst partials in
+            let values = List.map snd partials in
+            let reshared = reshare acc prg ~kp1 ~ebytes ~src_blocks ~dst_members values in
+            let noise = noise_input_shares prg ~kp1 in
+            let inputs = concat_inputs reshared noise in
+            let circuit =
+              Vertex_program.combine_circuit p ~count:(List.length partials) ~noised:true
+            in
+            let session, out = eval_in_block ~label:"root" dst_members circuit inputs in
+            let revealed = Gmw.reveal session out in
+            merge_block_traffic acc session dst_members;
+            revealed)
+  in
+  let mpc_sessions = Array.to_list sessions @ !agg_sessions in
+  {
+    output = Bitvec.to_int_signed output_bits;
+    iterations = p.Vertex_program.iterations;
+    traffic = acc.global;
+    phase_bytes = List.map (fun ph -> (ph, !(Hashtbl.find acc.bytes ph))) all_phases;
+    phase_seconds = List.map (fun ph -> (ph, !(Hashtbl.find acc.seconds ph))) all_phases;
+    transfer_failures = !failures;
+    mpc_rounds = List.fold_left (fun a s -> a + Gmw.rounds s) 0 mpc_sessions;
+    mpc_and_gates = List.fold_left (fun a s -> a + Gmw.and_gates_evaluated s) 0 mpc_sessions;
+    mpc_ots = List.fold_left (fun a s -> a + Gmw.ots_performed s) 0 mpc_sessions;
+    update_stats = Circuit.stats update_c;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Plaintext reference executor                                        *)
+(* ------------------------------------------------------------------ *)
+
+let run_plaintext p ~degree_bound ~graph ~initial_states =
+  let n = Graph.n graph in
+  let d = degree_bound in
+  let sb = p.Vertex_program.state_bits and l = p.Vertex_program.message_bits in
+  if Graph.max_degree graph > d then
+    invalid_arg "Engine.run_plaintext: vertex degree exceeds bound";
+  let update_c = Vertex_program.update_circuit p ~degree:d in
+  let states = Array.map Bitvec.to_bool_array initial_states in
+  let msg_in = Array.init n (fun _ -> Array.make_matrix d l false) in
+  let out_msgs = Array.init n (fun _ -> Array.make_matrix d l false) in
+  let compute () =
+    for i = 0 to n - 1 do
+      let inputs = Array.concat (states.(i) :: Array.to_list msg_in.(i)) in
+      let out = Circuit.eval update_c inputs in
+      states.(i) <- Array.sub out 0 sb;
+      for s = 0 to d - 1 do
+        out_msgs.(i).(s) <- Array.sub out (sb + (s * l)) l
+      done
+    done
+  in
+  let communicate () =
+    for i = 0 to n - 1 do
+      for s = 0 to d - 1 do
+        msg_in.(i).(s) <- Array.make l false
+      done
+    done;
+    List.iter
+      (fun (i, j) ->
+        msg_in.(j).(Graph.in_slot graph ~src:i ~dst:j) <-
+          Array.copy out_msgs.(i).(Graph.out_slot graph ~src:i ~dst:j))
+      (Graph.edges graph)
+  in
+  for _it = 1 to p.Vertex_program.iterations do
+    compute ();
+    communicate ()
+  done;
+  compute ();
+  let agg = Vertex_program.aggregate_circuit p ~count:n in
+  let noise_zeros = Array.make (Noise_circuit.default_uniform_bits + 1) false in
+  let inputs = Array.concat (Array.to_list states @ [ noise_zeros ]) in
+  let out = Circuit.eval agg inputs in
+  Bitvec.to_int_signed (Bitvec.of_bool_array out)
+
+let pp_report ppf r =
+  let mb b = float_of_int b /. 1048576.0 in
+  Format.fprintf ppf "@[<v>output: %d@,transfer failures: %d@,MPC: %d rounds, %d AND gates, %d OTs@,update circuit: %a@,"
+    r.output r.transfer_failures r.mpc_rounds r.mpc_and_gates r.mpc_ots Circuit.pp_stats
+    r.update_stats;
+  List.iter
+    (fun (ph, b) ->
+      let s = List.assoc ph r.phase_seconds in
+      Format.fprintf ppf "%-14s %8.3f s %10.3f MB@," (phase_name ph) s (mb b))
+    r.phase_bytes;
+  Format.fprintf ppf "total traffic: %.3f MB (mean %.3f MB/node)@]"
+    (mb (Traffic.total r.traffic))
+    (mb (int_of_float (Traffic.mean_per_node r.traffic)))

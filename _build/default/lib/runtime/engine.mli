@@ -1,0 +1,78 @@
+(** The DStress execution engine (§3.3, §3.6).
+
+    Given a vertex program and a distributed graph, the engine drives the
+    full protocol among simulated nodes:
+
+    + {b Setup} — the trusted party assigns blocks and issues certificates
+      ({!Dstress_transfer.Setup});
+    + {b Initialization} — every node XOR-shares its vertex's initial
+      state and D no-op messages to its block;
+    + {b Computation steps} — each block evaluates the vertex update
+      circuit under GMW; inputs and outputs stay shared;
+    + {b Communication steps} — each directed edge moves its message
+      shares between blocks with the §3.5 transfer protocol (final
+      variant, with geometric wire noise);
+    + {b Aggregation and noising} — vertex states are re-shared to the
+      aggregation block (or a two-level tree of blocks, §3.6), summed by
+      the aggregation circuit, and released with in-circuit geometric
+      noise of parameter [exp(-eps/s)].
+
+    The engine never reconstructs any intermediate value: the only opened
+    value is the noised aggregate. All traffic is recorded per node, and
+    wall-clock time is attributed to phases, which is exactly the
+    instrumentation the paper's Figures 3–6 report. *)
+
+type aggregation = Single_block | Two_level of int  (** fan-out of the leaf level *)
+
+type config = {
+  grp : Dstress_crypto.Group.t;
+  k : int;  (** collusion bound; blocks have k+1 members *)
+  degree_bound : int;  (** public bound D on vertex degree *)
+  ot_mode : Dstress_crypto.Ot_ext.mode;
+  transfer_alpha : float;  (** wire-noise parameter of the transfer protocol *)
+  table_radius : int;  (** decryption lookup covers [-radius, k+1+radius] *)
+  aggregation : aggregation;
+  seed : string;
+}
+
+val default_config : ?seed:string -> Dstress_crypto.Group.t -> k:int -> degree_bound:int -> config
+(** Simulation OT mode, [transfer_alpha = 0.5], table radius 120,
+    single-block aggregation. *)
+
+type phase = Setup | Initialization | Computation | Communication | Aggregation
+
+val phase_name : phase -> string
+
+type report = {
+  output : int;  (** the noised aggregate (signed) — the only public value *)
+  iterations : int;
+  traffic : Dstress_mpc.Traffic.t;  (** per-node, global node ids *)
+  phase_bytes : (phase * int) list;
+  phase_seconds : (phase * float) list;
+  transfer_failures : int;
+  mpc_rounds : int;
+  mpc_and_gates : int;
+  mpc_ots : int;
+  update_stats : Dstress_circuit.Circuit.stats;
+}
+
+val run :
+  config ->
+  Vertex_program.t ->
+  graph:Graph.t ->
+  initial_states:Dstress_util.Bitvec.t array ->
+  report
+(** Raises [Invalid_argument] if a vertex degree exceeds [degree_bound],
+    the state widths are wrong, or the graph size does not match. *)
+
+val run_plaintext :
+  Vertex_program.t ->
+  degree_bound:int ->
+  graph:Graph.t ->
+  initial_states:Dstress_util.Bitvec.t array ->
+  int
+(** Reference executor: runs the *same circuits* in cleartext with zero
+    noise. The MPC output minus this value is exactly the DP noise — the
+    oracle used by the integration tests. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,1 @@
+lib/transfer/edge_privacy.ml: Dstress_dp Format

@@ -1,0 +1,1 @@
+lib/transfer/edge_privacy.mli: Format

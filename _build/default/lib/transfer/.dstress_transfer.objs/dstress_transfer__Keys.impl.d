@@ -1,0 +1,1 @@
+lib/transfer/keys.ml: Array Dstress_crypto

@@ -1,0 +1,1 @@
+lib/transfer/keys.mli: Dstress_crypto

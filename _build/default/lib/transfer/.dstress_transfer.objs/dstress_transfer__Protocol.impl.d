@@ -1,0 +1,1 @@
+lib/transfer/protocol.ml: Array Dstress_bignum Dstress_crypto Dstress_dp Dstress_mpc Dstress_util Keys List Setup

@@ -1,0 +1,1 @@
+lib/transfer/protocol.mli: Dstress_crypto Dstress_mpc Dstress_util Setup

@@ -1,0 +1,1 @@
+lib/transfer/setup.ml: Array Buffer Dstress_bignum Dstress_crypto Dstress_util Hashtbl Keys Printf

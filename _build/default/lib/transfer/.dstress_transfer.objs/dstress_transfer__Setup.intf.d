@@ -1,0 +1,1 @@
+lib/transfer/setup.mli: Dstress_crypto Keys

@@ -1,0 +1,14 @@
+module Group = Dstress_crypto.Group
+module Elgamal = Dstress_crypto.Elgamal
+
+type t = {
+  node : int;
+  secrets : Group.exponent array;
+  publics : Group.elt array;
+}
+
+let generate prg grp ~node ~bits =
+  let pairs = Array.init bits (fun _ -> Elgamal.keygen prg grp) in
+  { node; secrets = Array.map fst pairs; publics = Array.map snd pairs }
+
+let bits t = Array.length t.secrets

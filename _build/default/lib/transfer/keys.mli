@@ -1,0 +1,17 @@
+(** Per-node ElGamal key material.
+
+    Each node holds [bits] independent key pairs — one per bit position of
+    the DStress message datatype. This is the price of the Kurosawa
+    ephemeral-key-reuse optimization (§5.1): one shared ephemeral key per
+    sender covers all [bits] ciphertexts, but then each bit position must
+    be encrypted to a *distinct* public key. *)
+
+type t = {
+  node : int;
+  secrets : Dstress_crypto.Group.exponent array; (* one per bit position *)
+  publics : Dstress_crypto.Group.elt array;
+}
+
+val generate : Dstress_crypto.Prg.t -> Dstress_crypto.Group.t -> node:int -> bits:int -> t
+
+val bits : t -> int

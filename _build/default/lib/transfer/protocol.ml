@@ -1,0 +1,206 @@
+module Group = Dstress_crypto.Group
+module Prg = Dstress_crypto.Prg
+module Exp_elgamal = Dstress_crypto.Exp_elgamal
+module Elgamal = Dstress_crypto.Elgamal
+module Bitvec = Dstress_util.Bitvec
+module Traffic = Dstress_mpc.Traffic
+module Sharing = Dstress_mpc.Sharing
+module Mechanism = Dstress_dp.Mechanism
+
+type variant = Strawman1 | Strawman2 | Strawman3 | Final
+
+type params = { alpha : float; table : Exp_elgamal.Table.t }
+
+type outcome = {
+  shares : Bitvec.t array;
+  failures : int;
+  sums : int array array option;
+}
+
+(* Decrypt one exponential-ElGamal value; count lookup misses. *)
+let decrypt_value grp table sk failures c =
+  match Exp_elgamal.decrypt grp sk table c with
+  | Some v -> v
+  | None ->
+      incr failures;
+      0
+
+let parity v = ((v mod 2) + 2) mod 2 = 1
+
+let expected_bytes variant ~k ~bits ~element_bytes =
+  let kp1 = k + 1 in
+  let multi l = (l + 1) * element_bytes in
+  match variant with
+  | Strawman1 ->
+      (* Each member sends one L-bit bundle for one recipient; i forwards
+         them unchanged; each recipient gets one bundle. *)
+      let per_sender = multi bits in
+      let i_to_j = kp1 * multi bits in
+      let per_receiver = multi bits in
+      (per_sender, i_to_j, per_receiver, (kp1 * per_sender) + i_to_j + (kp1 * per_receiver))
+  | Strawman2 ->
+      (* Each member sends subshare bundles for all k+1 recipients; i
+         forwards all of them; each recipient gets k+1 bundles. *)
+      let per_sender = multi (kp1 * bits) in
+      let i_to_j = kp1 * per_sender in
+      let per_receiver = kp1 * multi bits in
+      (per_sender, i_to_j, per_receiver, (kp1 * per_sender) + i_to_j + (kp1 * per_receiver))
+  | Strawman3 | Final ->
+      (* i combines: one shared ephemeral plus (k+1)*L summed ciphertext
+         bodies; each recipient gets its L bodies plus the ephemeral. *)
+      let per_sender = multi (kp1 * bits) in
+      let i_to_j = multi (kp1 * bits) in
+      let per_receiver = multi bits in
+      (per_sender, i_to_j, per_receiver, (kp1 * per_sender) + i_to_j + (kp1 * per_receiver))
+
+let transfer params ~prg ~noise ~traffic ~variant ~setup ~sender ~receiver ~neighbor_slot
+    ~shares =
+  let grp = setup.Setup.grp in
+  let l = setup.Setup.bits in
+  let kp1 = setup.Setup.k + 1 in
+  let bi = Setup.block_of setup sender and bj = Setup.block_of setup receiver in
+  if Array.length shares <> kp1 then invalid_arg "Protocol.transfer: wrong share count";
+  Array.iter
+    (fun s -> if Bitvec.length s <> l then invalid_arg "Protocol.transfer: share width")
+    shares;
+  if neighbor_slot < 0 || neighbor_slot >= setup.Setup.degree_bound then
+    invalid_arg "Protocol.transfer: bad neighbor slot";
+  let cert = setup.Setup.nodes.(receiver).certificates.(neighbor_slot) in
+  let r = setup.Setup.nodes.(receiver).neighbor_keys.(neighbor_slot) in
+  let ebytes = Group.element_bytes grp in
+  let multi_bytes l = (l + 1) * ebytes in
+  let failures = ref 0 in
+  let secret_of y t = setup.Setup.nodes.(bj.(y)).keys.Keys.secrets.(t) in
+  match variant with
+  | Strawman1 ->
+      (* Member x of B_i encrypts its own share, bit by bit, to the x-th
+         member of B_j. *)
+      let bundles =
+        Array.mapi
+          (fun x share ->
+            let recipients =
+              List.init l (fun t -> (cert.Setup.member_keys.(x).(t), if Bitvec.get share t then 1 else 0))
+            in
+            Exp_elgamal.encrypt_multi prg grp recipients)
+          shares
+      in
+      Array.iteri
+        (fun x _ -> Traffic.add traffic ~src:bi.(x) ~dst:sender (multi_bytes l))
+        bundles;
+      Traffic.add traffic ~src:sender ~dst:receiver (kp1 * multi_bytes l);
+      (* j adjusts every ephemeral and forwards each bundle to its member. *)
+      let new_shares =
+        Array.mapi
+          (fun y (c1, c2s) ->
+            let c1 = Group.pow grp c1 r in
+            Traffic.add traffic ~src:receiver ~dst:bj.(y) (multi_bytes l);
+            Bitvec.init l (fun t ->
+                let c = { Exp_elgamal.c1; c2 = List.nth c2s t } in
+                decrypt_value grp params.table (secret_of y t) failures c = 1))
+          bundles
+      in
+      { shares = new_shares; failures = !failures; sums = None }
+  | Strawman2 | Strawman3 | Final ->
+      (* Every member x splits its share into k+1 subshares (one per
+         recipient) and encrypts all (k+1)*L bits under one ephemeral. *)
+      let subshares = Array.map (fun s -> Sharing.subshare prg ~parties:kp1 s) shares in
+      let bundles =
+        Array.mapi
+          (fun x _ ->
+            let recipients =
+              List.concat
+                (List.init kp1 (fun y ->
+                     List.init l (fun t ->
+                         ( cert.Setup.member_keys.(y).(t),
+                           if Bitvec.get subshares.(x).(y) t then 1 else 0 ))))
+            in
+            Exp_elgamal.encrypt_multi prg grp recipients)
+          shares
+      in
+      Array.iteri
+        (fun x _ -> Traffic.add traffic ~src:bi.(x) ~dst:sender (multi_bytes (kp1 * l)))
+        bundles;
+      let c2_of (_, c2s) y t = List.nth c2s ((y * l) + t) in
+      let finish_shared_sums c1_combined c2_combined =
+        (* j adjusts the single combined ephemeral and hands each member
+           its L summed ciphertexts. *)
+        Traffic.add traffic ~src:sender ~dst:receiver (multi_bytes (kp1 * l));
+        let c1_adjusted = Group.pow grp c1_combined r in
+        let sums =
+          Array.init kp1 (fun y ->
+              Traffic.add traffic ~src:receiver ~dst:bj.(y) (multi_bytes l);
+              Array.init l (fun t ->
+                  let c = { Exp_elgamal.c1 = c1_adjusted; c2 = c2_combined.(y).(t) } in
+                  decrypt_value grp params.table (secret_of y t) failures c))
+        in
+        let new_shares = Array.map (fun row -> Bitvec.init l (fun t -> parity row.(t))) sums in
+        { shares = new_shares; failures = !failures; sums = Some sums }
+      in
+      let strawman2 () =
+          (* i forwards every bundle unchanged; j adjusts all ephemerals;
+             each recipient decrypts k+1 subshares and XORs them. *)
+          Traffic.add traffic ~src:sender ~dst:receiver (kp1 * multi_bytes (kp1 * l));
+          let new_shares =
+            Array.init kp1 (fun y ->
+                Traffic.add traffic ~src:receiver ~dst:bj.(y) (kp1 * multi_bytes l);
+                let received =
+                  Array.mapi
+                    (fun x (c1, _) ->
+                      let c1 = Group.pow grp c1 r in
+                      Bitvec.init l (fun t ->
+                          let c = { Exp_elgamal.c1; c2 = c2_of bundles.(x) y t } in
+                          decrypt_value grp params.table (secret_of y t) failures c = 1))
+                    bundles
+                in
+                Bitvec.xor_all (Array.to_list received))
+          in
+          { shares = new_shares; failures = !failures; sums = None }
+      in
+      let combined () =
+        (* i homomorphically sums the per-bit ciphertexts across the k+1
+           senders; the shared ephemerals multiply into a single one. *)
+        let c1_senders =
+          Array.fold_left (fun acc (c1, _) -> Group.mul grp acc c1) Dstress_bignum.Nat.one
+            bundles
+        in
+        let combined_c2 =
+          Array.init kp1 (fun y ->
+              Array.init l (fun t ->
+                  Array.fold_left
+                    (fun acc bundle -> Group.mul grp acc (c2_of bundle y t))
+                    Dstress_bignum.Nat.one bundles))
+        in
+        (c1_senders, combined_c2)
+      in
+      (match variant with
+      | Strawman2 -> strawman2 ()
+      | Strawman3 ->
+          let c1, c2 = combined () in
+          finish_shared_sums c1 c2
+      | Final ->
+          let c1_senders, combined_c2 = combined () in
+          (* i additionally encrypts an even geometric noise term for
+             every (recipient, bit) under one more shared ephemeral and
+             multiplies it in. *)
+          let noise_values =
+            Array.init kp1 (fun _ ->
+                Array.init l (fun _ ->
+                    Mechanism.transfer_noise noise ~alpha:params.alpha ~delta:kp1))
+          in
+          let noise_recipients =
+            List.concat
+              (List.init kp1 (fun y ->
+                   List.init l (fun t -> (cert.Setup.member_keys.(y).(t), noise_values.(y).(t)))))
+          in
+          let noise_c1, noise_c2s = Exp_elgamal.encrypt_multi prg grp noise_recipients in
+          let c1_combined = Group.mul grp c1_senders noise_c1 in
+          let noised_c2 =
+            Array.mapi
+              (fun y row ->
+                Array.mapi
+                  (fun t c2 -> Group.mul grp c2 (List.nth noise_c2s ((y * l) + t)))
+                  row)
+              combined_c2
+          in
+          finish_shared_sums c1_combined noised_c2
+      | Strawman1 -> assert false)

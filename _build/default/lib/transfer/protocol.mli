@@ -1,0 +1,71 @@
+(** The §3.5 message-transfer protocol: moving an XOR-shared L-bit message
+    from block [B_i] to block [B_j] along the (private) edge (i, j).
+
+    All four protocol versions from the paper are implemented so the design
+    progression can be tested and benchmarked:
+
+    - {!Strawman1}: each member of [B_i] encrypts its whole share to one
+      member of [B_j] (weak: a node in both blocks, or a colluding pair,
+      learns two shares);
+    - {!Strawman2}: shares are split into subshares, one per recipient
+      (collusion-resistant, but colluding endpoints can *recognize*
+      subshares and infer the edge);
+    - {!Strawman3}: the relay node [i] homomorphically sums the encrypted
+      subshare bits, so recipients see only sums (the exact sums still
+      leak edge information — the Appendix-B side channel);
+    - {!Final}: strawman 3 plus even geometric noise [2·Geo(alpha^(2/(k+1)))]
+      added by [i] to every encrypted bit-sum, making the side channel
+      epsilon-differentially-private in the graph's edges.
+
+    All variants route via the endpoint nodes [i] and [j] (blocks never
+    talk directly — that would reveal the edge to them), use the
+    re-randomized keys from [j]'s block certificate, and apply the
+    Kurosawa shared-ephemeral optimization across the L bit positions.
+
+    Every byte is recorded in the caller's {!Dstress_mpc.Traffic} matrix
+    under the *global* node ids, which is what the Figure 4/5 benchmarks
+    report. *)
+
+type variant = Strawman1 | Strawman2 | Strawman3 | Final
+
+type params = {
+  alpha : float;  (** geometric noise parameter for {!Final} (in (0,1)) *)
+  table : Dstress_crypto.Exp_elgamal.Table.t;
+      (** discrete-log lookup for decryption; must cover
+          [\[-noise_range, k+1+noise_range\]] *)
+}
+
+type outcome = {
+  shares : Dstress_util.Bitvec.t array;
+      (** new shares, one per member of [B_j] (same order as the block) *)
+  failures : int;  (** decrypted values outside the lookup table *)
+  sums : int array array option;
+      (** for {!Strawman3}/{!Final}: the decrypted bit-sums
+          [sums.(member).(bit)] each recipient observes — exposed so tests
+          and the edge-privacy analysis can quantify the side channel *)
+}
+
+val transfer :
+  params ->
+  prg:Dstress_crypto.Prg.t ->
+  noise:Dstress_util.Prng.t ->
+  traffic:Dstress_mpc.Traffic.t ->
+  variant:variant ->
+  setup:Setup.t ->
+  sender:int ->
+  receiver:int ->
+  neighbor_slot:int ->
+  shares:Dstress_util.Bitvec.t array ->
+  outcome
+(** [transfer params ... ~sender:i ~receiver:j ~neighbor_slot ~shares] runs
+    one edge transfer. [shares] are the current shares of [B_i]'s members
+    (block order); [neighbor_slot] selects which of [j]'s certificates was
+    handed to [i] during setup. The reconstructed message is preserved:
+    XOR of output shares = XOR of input shares (Theorem 1).
+    Raises [Invalid_argument] on shape mismatches. *)
+
+val expected_bytes :
+  variant -> k:int -> bits:int -> element_bytes:int -> int * int * int * int
+(** Closed-form wire cost [(bi_member_to_i, i_to_j, j_to_member, total)]
+    per §5.3, for validating the metered traffic. [bi_member_to_i] is per
+    sending member; [j_to_member] per receiving member. *)

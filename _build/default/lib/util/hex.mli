@@ -1,0 +1,8 @@
+(** Hexadecimal encoding of byte strings. *)
+
+val encode : bytes -> string
+(** Lowercase hex, two characters per byte. *)
+
+val decode : string -> bytes
+(** Inverse of [encode]; accepts upper- and lowercase digits.
+    Raises [Invalid_argument] on odd length or non-hex characters. *)

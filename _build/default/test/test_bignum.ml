@@ -1,0 +1,408 @@
+open Dstress_bignum
+
+let prng () = Dstress_util.Prng.of_int 0xB16
+let nat = Alcotest.testable Nat.pp Nat.equal
+let zint = Alcotest.testable Zint.pp Zint.equal
+
+(* ------------------------------------------------------------------ *)
+(* Nat basics                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_nat_of_to_int () =
+  List.iter
+    (fun v -> Alcotest.(check int) "roundtrip" v (Nat.to_int (Nat.of_int v)))
+    [ 0; 1; 2; 1000; 1 lsl 25; (1 lsl 26) - 1; 1 lsl 26; 123456789012345; max_int ]
+
+let test_nat_of_int_negative () =
+  Alcotest.check_raises "negative" (Invalid_argument "Nat.of_int: negative")
+    (fun () -> ignore (Nat.of_int (-1)))
+
+let test_nat_compare () =
+  let a = Nat.of_int 100 and b = Nat.of_int 200 in
+  Alcotest.(check bool) "lt" true (Nat.compare a b < 0);
+  Alcotest.(check bool) "gt" true (Nat.compare b a > 0);
+  Alcotest.(check bool) "eq" true (Nat.compare a a = 0)
+
+let test_nat_add_sub () =
+  let t = prng () in
+  for _ = 1 to 200 do
+    let a = Nat.random_bits t 200 and b = Nat.random_bits t 180 in
+    let s = Nat.add a b in
+    Alcotest.check nat "sub undoes add (a)" a (Nat.sub s b);
+    Alcotest.check nat "sub undoes add (b)" b (Nat.sub s a)
+  done
+
+let test_nat_sub_negative () =
+  Alcotest.check_raises "negative result"
+    (Invalid_argument "Nat.sub: negative result") (fun () ->
+      ignore (Nat.sub (Nat.of_int 1) (Nat.of_int 2)))
+
+let test_nat_mul_known () =
+  let a = Nat.of_decimal "123456789123456789123456789" in
+  let b = Nat.of_decimal "987654321987654321" in
+  Alcotest.(check string) "product"
+    "121932631356500531469135800347203169112635269"
+    (Nat.to_decimal (Nat.mul a b))
+
+let test_nat_divmod_known () =
+  let a = Nat.of_decimal "121932631356500531469135800347203169112635269" in
+  let b = Nat.of_decimal "987654321987654321" in
+  let q, r = Nat.divmod a b in
+  Alcotest.(check string) "quotient" "123456789123456789123456789" (Nat.to_decimal q);
+  Alcotest.check nat "remainder" Nat.zero r
+
+let test_nat_divmod_small_cases () =
+  let q, r = Nat.divmod (Nat.of_int 17) (Nat.of_int 5) in
+  Alcotest.(check int) "q" 3 (Nat.to_int q);
+  Alcotest.(check int) "r" 2 (Nat.to_int r);
+  let q, r = Nat.divmod (Nat.of_int 3) (Nat.of_int 7) in
+  Alcotest.(check int) "q small" 0 (Nat.to_int q);
+  Alcotest.(check int) "r small" 3 (Nat.to_int r)
+
+let test_nat_div_by_zero () =
+  Alcotest.check_raises "div0" Division_by_zero (fun () ->
+      ignore (Nat.divmod Nat.one Nat.zero))
+
+let test_nat_shifts () =
+  let v = Nat.of_decimal "123456789123456789" in
+  Alcotest.check nat "shift roundtrip" v (Nat.shift_right (Nat.shift_left v 100) 100);
+  Alcotest.check nat "shl = mul 2^k" (Nat.mul v (Nat.pow Nat.two 37))
+    (Nat.shift_left v 37);
+  Alcotest.check nat "shr drops" (Nat.of_int 1) (Nat.shift_right (Nat.of_int 3) 1)
+
+let test_nat_num_bits () =
+  Alcotest.(check int) "zero" 0 (Nat.num_bits Nat.zero);
+  Alcotest.(check int) "one" 1 (Nat.num_bits Nat.one);
+  Alcotest.(check int) "255" 8 (Nat.num_bits (Nat.of_int 255));
+  Alcotest.(check int) "256" 9 (Nat.num_bits (Nat.of_int 256));
+  Alcotest.(check int) "2^100" 101 (Nat.num_bits (Nat.pow Nat.two 100))
+
+let test_nat_pow () =
+  Alcotest.(check string) "2^128" "340282366920938463463374607431768211456"
+    (Nat.to_decimal (Nat.pow Nat.two 128));
+  Alcotest.check nat "x^0" Nat.one (Nat.pow (Nat.of_int 7) 0)
+
+let test_nat_gcd () =
+  Alcotest.(check int) "gcd" 6 (Nat.to_int (Nat.gcd (Nat.of_int 48) (Nat.of_int 18)));
+  Alcotest.(check int) "coprime" 1 (Nat.to_int (Nat.gcd (Nat.of_int 17) (Nat.of_int 4)));
+  Alcotest.check nat "gcd with zero" (Nat.of_int 5) (Nat.gcd (Nat.of_int 5) Nat.zero)
+
+(* ------------------------------------------------------------------ *)
+(* Modular arithmetic                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_mod_pow_known () =
+  (* 2^10 mod 1000 = 24, 3^100 mod 101 = 1 (Fermat) *)
+  Alcotest.(check int) "2^10 mod 1000" 24
+    (Nat.to_int (Nat.mod_pow ~base:Nat.two ~exp:(Nat.of_int 10) ~m:(Nat.of_int 1000)));
+  Alcotest.(check int) "fermat" 1
+    (Nat.to_int
+       (Nat.mod_pow ~base:(Nat.of_int 3) ~exp:(Nat.of_int 100) ~m:(Nat.of_int 101)))
+
+let test_mod_pow_vs_naive () =
+  let t = prng () in
+  for _ = 1 to 50 do
+    let m = Nat.add (Nat.random_below t (Nat.of_int 10000)) Nat.two in
+    let b = Nat.random_below t m in
+    let e = Dstress_util.Prng.int t 50 in
+    let expected = Nat.rem (Nat.pow b e) m in
+    Alcotest.check nat "matches naive" expected
+      (Nat.mod_pow ~base:b ~exp:(Nat.of_int e) ~m)
+  done
+
+let test_mod_pow_even_modulus () =
+  Alcotest.(check int) "even modulus" (17 * 17 mod 100)
+    (Nat.to_int
+       (Nat.mod_pow ~base:(Nat.of_int 17) ~exp:Nat.two ~m:(Nat.of_int 100)))
+
+let test_mod_inv () =
+  let t = prng () in
+  let m = Nat.of_decimal "1000000007" in
+  for _ = 1 to 100 do
+    let a = Nat.add Nat.one (Nat.random_below t (Nat.sub m Nat.one)) in
+    let inv = Nat.mod_inv a ~m in
+    Alcotest.check nat "a * a^-1 = 1" Nat.one (Nat.mod_mul a inv ~m)
+  done
+
+let test_mod_inv_no_inverse () =
+  Alcotest.check_raises "gcd > 1" Not_found (fun () ->
+      ignore (Nat.mod_inv (Nat.of_int 6) ~m:(Nat.of_int 9)))
+
+let test_mod_add_sub () =
+  let m = Nat.of_int 13 in
+  Alcotest.(check int) "mod_add wraps" 2
+    (Nat.to_int (Nat.mod_add (Nat.of_int 7) (Nat.of_int 8) ~m));
+  Alcotest.(check int) "mod_sub wraps" 12
+    (Nat.to_int (Nat.mod_sub (Nat.of_int 7) (Nat.of_int 8) ~m))
+
+(* ------------------------------------------------------------------ *)
+(* Montgomery                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_mont_roundtrip () =
+  let t = prng () in
+  let m = Nat.generate_prime t ~bits:128 in
+  let ctx = Nat.Mont.create m in
+  for _ = 1 to 50 do
+    let x = Nat.random_below t m in
+    Alcotest.check nat "to/from mont" x (Nat.Mont.from_mont ctx (Nat.Mont.to_mont ctx x))
+  done
+
+let test_mont_mul_matches_plain () =
+  let t = prng () in
+  let m = Nat.generate_prime t ~bits:160 in
+  let ctx = Nat.Mont.create m in
+  for _ = 1 to 50 do
+    let a = Nat.random_below t m and b = Nat.random_below t m in
+    let am = Nat.Mont.to_mont ctx a and bm = Nat.Mont.to_mont ctx b in
+    let got = Nat.Mont.from_mont ctx (Nat.Mont.mul ctx am bm) in
+    Alcotest.check nat "matches mod_mul" (Nat.mod_mul a b ~m) got
+  done
+
+let test_mont_pow_matches () =
+  let t = prng () in
+  let m = Nat.generate_prime t ~bits:96 in
+  let ctx = Nat.Mont.create m in
+  for _ = 1 to 20 do
+    let b = Nat.random_below t m in
+    let e = Nat.random_bits t 64 in
+    let bm = Nat.Mont.to_mont ctx b in
+    let got = Nat.Mont.from_mont ctx (Nat.Mont.pow ctx bm e) in
+    Alcotest.check nat "matches mod_pow" (Nat.mod_pow ~base:b ~exp:e ~m) got
+  done
+
+let test_mont_rejects_even () =
+  Alcotest.check_raises "even modulus"
+    (Invalid_argument "Nat.Mont.create: modulus must be odd and >= 3") (fun () ->
+      ignore (Nat.Mont.create (Nat.of_int 100)))
+
+(* ------------------------------------------------------------------ *)
+(* Conversions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_decimal_roundtrip () =
+  let t = prng () in
+  for _ = 1 to 50 do
+    let v = Nat.random_bits t 300 in
+    Alcotest.check nat "decimal roundtrip" v (Nat.of_decimal (Nat.to_decimal v))
+  done
+
+let test_hex_roundtrip () =
+  let t = prng () in
+  for _ = 1 to 50 do
+    let v = Nat.random_bits t 300 in
+    Alcotest.check nat "hex roundtrip" v (Nat.of_hex (Nat.to_hex v))
+  done
+
+let test_hex_known () =
+  Alcotest.(check string) "to_hex" "ff" (Nat.to_hex (Nat.of_int 255));
+  Alcotest.check nat "of_hex odd length" (Nat.of_int 0xabc) (Nat.of_hex "abc")
+
+let test_bytes_roundtrip () =
+  let t = prng () in
+  for _ = 1 to 50 do
+    let v = Nat.random_bits t 200 in
+    Alcotest.check nat "bytes roundtrip" v (Nat.of_bytes_be (Nat.to_bytes_be v))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Randomness / primality                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_random_below_in_range () =
+  let t = prng () in
+  let bound = Nat.of_decimal "123456789123456789" in
+  for _ = 1 to 200 do
+    let v = Nat.random_below t bound in
+    Alcotest.(check bool) "below bound" true (Nat.compare v bound < 0)
+  done
+
+let test_primality_known () =
+  let t = prng () in
+  let primes = [ 2; 3; 5; 7; 97; 7919; 104729 ] in
+  let composites = [ 0; 1; 4; 9; 561 (* Carmichael *); 7917; 104730 ] in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%d prime" p)
+        true
+        (Nat.is_probable_prime t (Nat.of_int p)))
+    primes;
+  List.iter
+    (fun c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%d composite" c)
+        false
+        (Nat.is_probable_prime t (Nat.of_int c)))
+    composites
+
+let test_primality_large_known () =
+  let t = prng () in
+  (* 2^127 - 1 is a Mersenne prime; 2^128 + 1 is composite. *)
+  let m127 = Nat.sub (Nat.pow Nat.two 127) Nat.one in
+  Alcotest.(check bool) "2^127-1 prime" true (Nat.is_probable_prime t m127);
+  let f7ish = Nat.add (Nat.pow Nat.two 128) Nat.one in
+  Alcotest.(check bool) "2^128+1 composite" false (Nat.is_probable_prime t f7ish)
+
+let test_generate_prime () =
+  let t = prng () in
+  let p = Nat.generate_prime t ~bits:64 in
+  Alcotest.(check int) "exact width" 64 (Nat.num_bits p);
+  Alcotest.(check bool) "is prime" true (Nat.is_probable_prime t p)
+
+(* ------------------------------------------------------------------ *)
+(* Zint                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_zint_roundtrip () =
+  List.iter
+    (fun v -> Alcotest.(check int) "roundtrip" v (Zint.to_int (Zint.of_int v)))
+    [ 0; 1; -1; 1000; -123456; max_int; min_int + 1 ]
+
+let test_zint_arith () =
+  let z = Zint.of_int in
+  Alcotest.check zint "add" (z 1) (Zint.add (z 5) (z (-4)));
+  Alcotest.check zint "sub" (z (-9)) (Zint.sub (z (-5)) (z 4));
+  Alcotest.check zint "mul" (z (-20)) (Zint.mul (z 5) (z (-4)));
+  Alcotest.check zint "neg zero" Zint.zero (Zint.neg Zint.zero)
+
+let test_zint_divmod_euclidean () =
+  let check a b =
+    let q, r = Zint.divmod (Zint.of_int a) (Zint.of_int b) in
+    Alcotest.(check bool) "r >= 0" true (Zint.sign r >= 0);
+    Alcotest.(check bool) "r < |b|" true (Zint.compare r (Zint.of_int (abs b)) < 0);
+    Alcotest.(check int) "a = q*b + r" a
+      (Zint.to_int (Zint.add (Zint.mul q (Zint.of_int b)) r))
+  in
+  List.iter (fun (a, b) -> check a b)
+    [ (7, 3); (-7, 3); (7, -3); (-7, -3); (6, 3); (-6, 3); (0, 5) ]
+
+let test_zint_compare () =
+  Alcotest.(check bool) "neg < pos" true (Zint.compare (Zint.of_int (-5)) (Zint.of_int 3) < 0);
+  Alcotest.(check bool) "-5 < -3" true (Zint.compare (Zint.of_int (-5)) (Zint.of_int (-3)) < 0);
+  Alcotest.(check int) "sign" (-1) (Zint.sign (Zint.of_int (-7)))
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let gen_nat =
+  QCheck2.Gen.(
+    map
+      (fun (seed, bits) ->
+        Nat.random_bits (Dstress_util.Prng.of_int seed) (1 + bits))
+      (pair int (int_bound 250)))
+
+let prop_add_comm =
+  QCheck2.Test.make ~name:"nat add commutative" ~count:200
+    QCheck2.Gen.(pair gen_nat gen_nat)
+    (fun (a, b) -> Nat.equal (Nat.add a b) (Nat.add b a))
+
+let prop_mul_comm =
+  QCheck2.Test.make ~name:"nat mul commutative" ~count:200
+    QCheck2.Gen.(pair gen_nat gen_nat)
+    (fun (a, b) -> Nat.equal (Nat.mul a b) (Nat.mul b a))
+
+let prop_mul_assoc =
+  QCheck2.Test.make ~name:"nat mul associative" ~count:100
+    QCheck2.Gen.(triple gen_nat gen_nat gen_nat)
+    (fun (a, b, c) -> Nat.equal (Nat.mul (Nat.mul a b) c) (Nat.mul a (Nat.mul b c)))
+
+let prop_distributive =
+  QCheck2.Test.make ~name:"nat mul distributes over add" ~count:100
+    QCheck2.Gen.(triple gen_nat gen_nat gen_nat)
+    (fun (a, b, c) ->
+      Nat.equal (Nat.mul a (Nat.add b c)) (Nat.add (Nat.mul a b) (Nat.mul a c)))
+
+let prop_divmod_identity =
+  QCheck2.Test.make ~name:"nat divmod identity" ~count:300
+    QCheck2.Gen.(pair gen_nat gen_nat)
+    (fun (a, b) ->
+      QCheck2.assume (not (Nat.is_zero b));
+      let q, r = Nat.divmod a b in
+      Nat.equal a (Nat.add (Nat.mul q b) r) && Nat.compare r b < 0)
+
+let prop_decimal_roundtrip =
+  QCheck2.Test.make ~name:"nat decimal roundtrip" ~count:200 gen_nat (fun v ->
+      Nat.equal v (Nat.of_decimal (Nat.to_decimal v)))
+
+let prop_zint_divmod =
+  QCheck2.Test.make ~name:"zint euclidean divmod" ~count:300
+    QCheck2.Gen.(pair (int_range (-100000) 100000) (int_range (-1000) 1000))
+    (fun (a, b) ->
+      QCheck2.assume (b <> 0);
+      let q, r = Zint.divmod (Zint.of_int a) (Zint.of_int b) in
+      Zint.sign r >= 0
+      && Zint.compare r (Zint.of_int (abs b)) < 0
+      && Zint.to_int (Zint.add (Zint.mul q (Zint.of_int b)) r) = a)
+
+let () =
+  let qsuite =
+    List.map QCheck_alcotest.to_alcotest
+      [
+        prop_add_comm;
+        prop_mul_comm;
+        prop_mul_assoc;
+        prop_distributive;
+        prop_divmod_identity;
+        prop_decimal_roundtrip;
+        prop_zint_divmod;
+      ]
+  in
+  Alcotest.run "bignum"
+    [
+      ( "nat-basic",
+        [
+          Alcotest.test_case "of/to int" `Quick test_nat_of_to_int;
+          Alcotest.test_case "of_int negative" `Quick test_nat_of_int_negative;
+          Alcotest.test_case "compare" `Quick test_nat_compare;
+          Alcotest.test_case "add/sub" `Quick test_nat_add_sub;
+          Alcotest.test_case "sub negative" `Quick test_nat_sub_negative;
+          Alcotest.test_case "mul known" `Quick test_nat_mul_known;
+          Alcotest.test_case "divmod known" `Quick test_nat_divmod_known;
+          Alcotest.test_case "divmod small" `Quick test_nat_divmod_small_cases;
+          Alcotest.test_case "div by zero" `Quick test_nat_div_by_zero;
+          Alcotest.test_case "shifts" `Quick test_nat_shifts;
+          Alcotest.test_case "num_bits" `Quick test_nat_num_bits;
+          Alcotest.test_case "pow" `Quick test_nat_pow;
+          Alcotest.test_case "gcd" `Quick test_nat_gcd;
+        ] );
+      ( "nat-modular",
+        [
+          Alcotest.test_case "mod_pow known" `Quick test_mod_pow_known;
+          Alcotest.test_case "mod_pow vs naive" `Quick test_mod_pow_vs_naive;
+          Alcotest.test_case "mod_pow even modulus" `Quick test_mod_pow_even_modulus;
+          Alcotest.test_case "mod_inv" `Quick test_mod_inv;
+          Alcotest.test_case "mod_inv missing" `Quick test_mod_inv_no_inverse;
+          Alcotest.test_case "mod_add/mod_sub" `Quick test_mod_add_sub;
+        ] );
+      ( "nat-montgomery",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_mont_roundtrip;
+          Alcotest.test_case "mul matches plain" `Quick test_mont_mul_matches_plain;
+          Alcotest.test_case "pow matches plain" `Quick test_mont_pow_matches;
+          Alcotest.test_case "rejects even modulus" `Quick test_mont_rejects_even;
+        ] );
+      ( "nat-conversions",
+        [
+          Alcotest.test_case "decimal roundtrip" `Quick test_decimal_roundtrip;
+          Alcotest.test_case "hex roundtrip" `Quick test_hex_roundtrip;
+          Alcotest.test_case "hex known" `Quick test_hex_known;
+          Alcotest.test_case "bytes roundtrip" `Quick test_bytes_roundtrip;
+        ] );
+      ( "nat-primes",
+        [
+          Alcotest.test_case "random_below range" `Quick test_random_below_in_range;
+          Alcotest.test_case "known primes/composites" `Quick test_primality_known;
+          Alcotest.test_case "large known" `Quick test_primality_large_known;
+          Alcotest.test_case "generate prime" `Quick test_generate_prime;
+        ] );
+      ( "zint",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_zint_roundtrip;
+          Alcotest.test_case "arithmetic" `Quick test_zint_arith;
+          Alcotest.test_case "euclidean divmod" `Quick test_zint_divmod_euclidean;
+          Alcotest.test_case "compare/sign" `Quick test_zint_compare;
+        ] );
+      ("properties", qsuite);
+    ]

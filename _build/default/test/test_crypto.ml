@@ -1,0 +1,644 @@
+open Dstress_crypto
+module Nat = Dstress_bignum.Nat
+
+let grp = Group.by_name "toy"
+let prg tag = Prg.of_string ("test-crypto:" ^ tag)
+
+(* ------------------------------------------------------------------ *)
+(* SHA-256                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_sha256_fips_vectors () =
+  let check msg expected =
+    Alcotest.(check string) ("sha256 of " ^ String.escaped msg) expected
+      (Sha256.hex_digest msg)
+  in
+  check "" "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855";
+  check "abc" "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad";
+  check "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+    "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+
+let test_sha256_block_boundaries () =
+  (* Lengths straddling the 55/56/63/64-byte padding boundaries must all
+     produce distinct digests and not crash. *)
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun n ->
+      let d = Sha256.hex_digest (String.make n 'x') in
+      Alcotest.(check bool) "distinct" false (Hashtbl.mem seen d);
+      Hashtbl.replace seen d ())
+    [ 0; 1; 54; 55; 56; 57; 63; 64; 65; 119; 120; 128 ]
+
+let test_sha256_million_a () =
+  let msg = String.make 1_000_000 'a' in
+  Alcotest.(check string) "million a"
+    "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    (Sha256.hex_digest msg)
+
+let test_hmac_rfc4231 () =
+  let key = Bytes.make 20 '\x0b' in
+  let data = Bytes.of_string "Hi There" in
+  Alcotest.(check string) "rfc4231 case 1"
+    "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+    (Dstress_util.Hex.encode (Sha256.hmac ~key data))
+
+let test_hmac_long_key () =
+  (* Keys longer than the block size are hashed first (RFC 4231 case 6). *)
+  let key = Bytes.make 131 '\xaa' in
+  let data = Bytes.of_string "Test Using Larger Than Block-Size Key - Hash Key First" in
+  Alcotest.(check string) "rfc4231 case 6"
+    "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+    (Dstress_util.Hex.encode (Sha256.hmac ~key data))
+
+(* ------------------------------------------------------------------ *)
+(* Prg                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_prg_deterministic () =
+  let a = prg "det" and b = prg "det" in
+  Alcotest.(check bytes) "same stream" (Prg.bytes a 100) (Prg.bytes b 100)
+
+let test_prg_distinct_keys () =
+  let a = prg "k1" and b = prg "k2" in
+  Alcotest.(check bool) "different" false (Bytes.equal (Prg.bytes a 32) (Prg.bytes b 32))
+
+let test_prg_nat_below () =
+  let t = prg "below" in
+  let bound = Nat.of_decimal "1000000000000" in
+  for _ = 1 to 200 do
+    Alcotest.(check bool) "in range" true (Nat.compare (Prg.nat_below t bound) bound < 0)
+  done
+
+let test_prg_bits_length () =
+  let t = prg "bits" in
+  Alcotest.(check int) "length" 13 (Dstress_util.Bitvec.length (Prg.bits t 13))
+
+let test_prg_bool_balanced () =
+  let t = prg "bool" in
+  let ones = ref 0 in
+  for _ = 1 to 4000 do
+    if Prg.bool t then incr ones
+  done;
+  Alcotest.(check bool) "balanced" true (!ones > 1700 && !ones < 2300)
+
+(* ------------------------------------------------------------------ *)
+(* Group                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_group_generator_order () =
+  Alcotest.(check bool) "g^q = 1" true
+    (Nat.is_one (Group.pow grp (Group.g grp) (Group.q grp)));
+  Alcotest.(check bool) "g is element" true (Group.is_element grp (Group.g grp))
+
+let test_group_safe_prime () =
+  let p = Group.p grp and q = Group.q grp in
+  Alcotest.(check bool) "p = 2q+1" true
+    (Nat.equal p (Nat.add (Nat.mul Nat.two q) Nat.one))
+
+let test_group_all_sizes () =
+  List.iter
+    (fun name ->
+      let g = Group.by_name name in
+      Alcotest.(check bool)
+        (name ^ " generator ok")
+        true
+        (Group.is_element g (Group.g g)))
+    [ "toy"; "medium"; "standard" ]
+
+let test_group_unknown_name () =
+  Alcotest.check_raises "unknown" (Invalid_argument "Group.by_name: unknown group nope")
+    (fun () -> ignore (Group.by_name "nope"))
+
+let test_group_pow_g_matches_pow () =
+  let t = prg "powg" in
+  for _ = 1 to 20 do
+    let e = Group.random_exponent t grp in
+    Alcotest.(check bool) "pow_g = pow g" true
+      (Group.elt_equal (Group.pow_g grp e) (Group.pow grp (Group.g grp) e))
+  done
+
+let test_group_inverse () =
+  let t = prg "inv" in
+  for _ = 1 to 20 do
+    let e = Group.random_exponent t grp in
+    let x = Group.pow_g grp e in
+    Alcotest.(check bool) "x * x^-1 = 1" true
+      (Nat.is_one (Group.mul grp x (Group.inv grp x)))
+  done
+
+let test_group_exp_arith () =
+  let q = Group.q grp in
+  let a = Nat.sub q Nat.one and b = Nat.two in
+  Alcotest.(check bool) "exp_add wraps" true
+    (Nat.equal (Group.exp_add grp a b) Nat.one);
+  Alcotest.(check bool) "exp_sub wraps" true
+    (Nat.equal (Group.exp_sub grp Nat.zero Nat.one) a);
+  let t = prg "exparith" in
+  let e = Group.random_exponent t grp in
+  Alcotest.(check bool) "exp_inv" true
+    (Nat.is_one (Group.exp_mul grp e (Group.exp_inv grp e)))
+
+let test_group_make_rejects_bad () =
+  Alcotest.(check bool) "bad p rejected" true
+    (try
+       ignore (Group.make ~p:(Nat.of_int 15) ~q:(Nat.of_int 5) ~g:(Nat.of_int 2));
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* ElGamal                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_elgamal_roundtrip () =
+  let t = prg "eg" in
+  let sk, pk = Elgamal.keygen t grp in
+  for _ = 1 to 20 do
+    let m = Group.pow_g grp (Group.random_exponent t grp) in
+    let c = Elgamal.encrypt t grp pk m in
+    Alcotest.(check bool) "roundtrip" true (Group.elt_equal m (Elgamal.decrypt grp sk c))
+  done
+
+let test_elgamal_homomorphism () =
+  let t = prg "eg-hom" in
+  let sk, pk = Elgamal.keygen t grp in
+  let m1 = Group.pow_g grp (Group.random_exponent t grp) in
+  let m2 = Group.pow_g grp (Group.random_exponent t grp) in
+  let c = Elgamal.mul grp (Elgamal.encrypt t grp pk m1) (Elgamal.encrypt t grp pk m2) in
+  Alcotest.(check bool) "product" true
+    (Group.elt_equal (Group.mul grp m1 m2) (Elgamal.decrypt grp sk c))
+
+let test_elgamal_wrong_key () =
+  let t = prg "eg-wrong" in
+  let _, pk = Elgamal.keygen t grp in
+  let sk', _ = Elgamal.keygen t grp in
+  let m = Group.pow_g grp (Group.random_exponent t grp) in
+  let c = Elgamal.encrypt t grp pk m in
+  Alcotest.(check bool) "wrong key garbles" false
+    (Group.elt_equal m (Elgamal.decrypt grp sk' c))
+
+(* ------------------------------------------------------------------ *)
+(* Exponential ElGamal                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let table = Exp_elgamal.Table.make grp ~lo:(-1000) ~hi:1000
+
+let test_exp_elgamal_roundtrip () =
+  let t = prg "xeg" in
+  let sk, pk = Exp_elgamal.keygen t grp in
+  List.iter
+    (fun v ->
+      let c = Exp_elgamal.encrypt t grp pk v in
+      Alcotest.(check (option int)) "roundtrip" (Some v)
+        (Exp_elgamal.decrypt grp sk table c))
+    [ 0; 1; -1; 42; -999; 1000; 500 ]
+
+let test_exp_elgamal_additive () =
+  let t = prg "xeg-add" in
+  let sk, pk = Exp_elgamal.keygen t grp in
+  for _ = 1 to 20 do
+    let a = Prg.bool t |> fun b -> if b then 17 else -55 in
+    let b = 23 in
+    let c =
+      Exp_elgamal.add grp (Exp_elgamal.encrypt t grp pk a) (Exp_elgamal.encrypt t grp pk b)
+    in
+    Alcotest.(check (option int)) "sum" (Some (a + b)) (Exp_elgamal.decrypt grp sk table c)
+  done
+
+let test_exp_elgamal_add_clear () =
+  let t = prg "xeg-clear" in
+  let sk, pk = Exp_elgamal.keygen t grp in
+  let c = Exp_elgamal.encrypt t grp pk 100 in
+  let c' = Exp_elgamal.add_clear t grp pk c (-30) in
+  Alcotest.(check (option int)) "add_clear" (Some 70) (Exp_elgamal.decrypt grp sk table c')
+
+let test_exp_elgamal_out_of_table () =
+  let t = prg "xeg-oob" in
+  let sk, pk = Exp_elgamal.keygen t grp in
+  let c = Exp_elgamal.encrypt t grp pk 5000 in
+  Alcotest.(check (option int)) "decryption failure" None
+    (Exp_elgamal.decrypt grp sk table c)
+
+let test_exp_elgamal_rerandomized_key () =
+  let t = prg "xeg-rr" in
+  let sk, pk = Exp_elgamal.keygen t grp in
+  let r = Group.random_exponent t grp in
+  let pk_r = Exp_elgamal.rerandomize_key grp pk r in
+  Alcotest.(check bool) "key changed" false (Group.elt_equal pk pk_r);
+  let c = Exp_elgamal.encrypt t grp pk_r 77 in
+  (* Without adjustment the original key fails... *)
+  Alcotest.(check bool) "unadjusted fails" true
+    (Exp_elgamal.decrypt grp sk table c <> Some 77
+    || Nat.is_one r);
+  (* ...and with adjustment it succeeds. *)
+  let c' = Exp_elgamal.adjust grp c r in
+  Alcotest.(check (option int)) "adjusted decrypts" (Some 77)
+    (Exp_elgamal.decrypt grp sk table c')
+
+let test_exp_elgamal_homomorphism_after_adjust () =
+  (* Sums of adjusted ciphertexts decrypt correctly: the exact pattern of
+     the transfer protocol (aggregate then adjust via i's neighbor key). *)
+  let t = prg "xeg-agg" in
+  let sk, pk = Exp_elgamal.keygen t grp in
+  let r = Group.random_exponent t grp in
+  let pk_r = Exp_elgamal.rerandomize_key grp pk r in
+  let cs = List.map (fun v -> Exp_elgamal.encrypt t grp pk_r v) [ 3; 9; -5 ] in
+  let sum = List.fold_left (Exp_elgamal.add grp) (List.hd cs) (List.tl cs) in
+  let adjusted = Exp_elgamal.adjust grp sum r in
+  Alcotest.(check (option int)) "sum decrypts" (Some 7)
+    (Exp_elgamal.decrypt grp sk table adjusted)
+
+let test_exp_elgamal_multi_recipient () =
+  let t = prg "xeg-multi" in
+  let keys = List.init 5 (fun _ -> Exp_elgamal.keygen t grp) in
+  let values = [ 1; -2; 30; 0; 999 ] in
+  let recipients = List.map2 (fun (_, pk) v -> (pk, v)) keys values in
+  let c1, c2s = Exp_elgamal.encrypt_multi t grp recipients in
+  List.iteri
+    (fun i c2 ->
+      let sk, _ = List.nth keys i in
+      let expected = List.nth values i in
+      Alcotest.(check (option int)) "multi decrypt" (Some expected)
+        (Exp_elgamal.decrypt grp sk table { Exp_elgamal.c1; c2 }))
+    c2s
+
+let test_exp_elgamal_multi_bandwidth () =
+  Alcotest.(check bool) "multi saves bandwidth" true
+    (Exp_elgamal.multi_ciphertext_bytes grp 12
+    < 12 * Elgamal.ciphertext_bytes grp)
+
+let test_table_size () =
+  Alcotest.(check int) "size" 2001 (Exp_elgamal.Table.size table)
+
+(* ------------------------------------------------------------------ *)
+(* Base OT                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_base_ot_all_cases () =
+  let t = prg "ot" in
+  List.iter
+    (fun (b0, b1, choice) ->
+      let meter = Meter.create () in
+      let got =
+        Ot.base_ot_bit grp meter ~sender_prg:t ~receiver_prg:t ~b0 ~b1 ~choice
+      in
+      Alcotest.(check bool) "selected" (if choice then b1 else b0) got)
+    [
+      (false, false, false); (false, false, true);
+      (false, true, false); (false, true, true);
+      (true, false, false); (true, false, true);
+      (true, true, false); (true, true, true);
+    ]
+
+let test_base_ot_bytes () =
+  let t = prg "ot-bytes" in
+  for _ = 1 to 10 do
+    let m0 = Prg.bytes t 16 and m1 = Prg.bytes t 16 in
+    let choice = Prg.bool t in
+    let meter = Meter.create () in
+    let got = Ot.base_ot grp meter ~sender_prg:t ~receiver_prg:t ~m0 ~m1 ~choice in
+    Alcotest.(check bytes) "chosen message" (if choice then m1 else m0) got;
+    Alcotest.(check bool) "traffic metered" true (Meter.total meter > 0)
+  done
+
+let test_base_ot_length_mismatch () =
+  let t = prg "ot-len" in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Ot.base_ot: message length mismatch") (fun () ->
+      ignore
+        (Ot.base_ot grp (Meter.create ()) ~sender_prg:t ~receiver_prg:t
+           ~m0:(Bytes.create 4) ~m1:(Bytes.create 5) ~choice:false))
+
+let test_random_point_is_element () =
+  let c = Ot.random_point grp "tag-a" in
+  Alcotest.(check bool) "in subgroup" true (Group.is_element grp c);
+  let c' = Ot.random_point grp "tag-b" in
+  Alcotest.(check bool) "tag-dependent" false (Group.elt_equal c c')
+
+(* ------------------------------------------------------------------ *)
+(* OT extension                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_ot_ext_bytes () =
+  let sp = prg "ext-s" and rp = prg "ext-r" in
+  let meter = Meter.create () in
+  let session = Ot_ext.setup grp meter ~sender_prg:sp ~receiver_prg:rp in
+  let t = prg "ext-data" in
+  let m = 64 in
+  let pairs = Array.init m (fun _ -> (Prg.bytes t 8, Prg.bytes t 8)) in
+  let choices = Array.init m (fun _ -> Prg.bool t) in
+  let out = Ot_ext.extend session meter ~pairs ~choices in
+  Array.iteri
+    (fun j got ->
+      let x0, x1 = pairs.(j) in
+      Alcotest.(check bytes) "chosen" (if choices.(j) then x1 else x0) got)
+    out
+
+let test_ot_ext_bits () =
+  let sp = prg "extb-s" and rp = prg "extb-r" in
+  let meter = Meter.create () in
+  let session = Ot_ext.setup grp meter ~sender_prg:sp ~receiver_prg:rp in
+  let t = prg "extb-data" in
+  let m = 200 in
+  let pairs = Array.init m (fun _ -> (Prg.bool t, Prg.bool t)) in
+  let choices = Array.init m (fun _ -> Prg.bool t) in
+  let out = Ot_ext.extend_bits session meter ~pairs ~choices in
+  Array.iteri
+    (fun j got ->
+      let x0, x1 = pairs.(j) in
+      Alcotest.(check bool) "chosen bit" (if choices.(j) then x1 else x0) got)
+    out;
+  Alcotest.(check int) "count" m (Ot_ext.ots_performed session)
+
+let test_ot_ext_multiple_batches () =
+  (* The same session must serve several extend calls with fresh
+     correlation (stateful column PRGs). *)
+  let sp = prg "extm-s" and rp = prg "extm-r" in
+  let meter = Meter.create () in
+  let session = Ot_ext.setup grp meter ~sender_prg:sp ~receiver_prg:rp in
+  let t = prg "extm-data" in
+  for _ = 1 to 5 do
+    let m = 32 in
+    let pairs = Array.init m (fun _ -> (Prg.bool t, Prg.bool t)) in
+    let choices = Array.init m (fun _ -> Prg.bool t) in
+    let out = Ot_ext.extend_bits session meter ~pairs ~choices in
+    Array.iteri
+      (fun j got ->
+        let x0, x1 = pairs.(j) in
+        Alcotest.(check bool) "batch bit" (if choices.(j) then x1 else x0) got)
+      out
+  done
+
+let test_ot_ext_simulation_mode () =
+  (* Simulation mode must produce correct OTs and meter the same traffic
+     as crypto mode. *)
+  let run mode =
+    let sp = prg "sim-s" and rp = prg "sim-r" in
+    let meter = Meter.create () in
+    let session = Ot_ext.setup ~mode grp meter ~sender_prg:sp ~receiver_prg:rp in
+    let t = prg "sim-data" in
+    let m = 100 in
+    let pairs = Array.init m (fun _ -> (Prg.bool t, Prg.bool t)) in
+    let choices = Array.init m (fun _ -> Prg.bool t) in
+    let out = Ot_ext.extend_bits session meter ~pairs ~choices in
+    Array.iteri
+      (fun j got ->
+        let x0, x1 = pairs.(j) in
+        Alcotest.(check bool) "sim chosen bit" (if choices.(j) then x1 else x0) got)
+      out;
+    Meter.total meter
+  in
+  let crypto_traffic = run Ot_ext.Crypto in
+  let sim_traffic = run Ot_ext.Simulation in
+  Alcotest.(check int) "same metered traffic" crypto_traffic sim_traffic
+
+let test_ot_ext_amortized_traffic () =
+  (* Extension OTs must be far cheaper than base OTs: the whole point of
+     IKNP. Compare marginal traffic of 1000 extension OTs against 1000
+     base OTs (3 group elements + 2 bits each). *)
+  let sp = prg "extt-s" and rp = prg "extt-r" in
+  let setup_meter = Meter.create () in
+  let session = Ot_ext.setup grp setup_meter ~sender_prg:sp ~receiver_prg:rp in
+  let meter = Meter.create () in
+  let m = 1000 in
+  let pairs = Array.make m (false, true) in
+  let choices = Array.make m true in
+  ignore (Ot_ext.extend_bits session meter ~pairs ~choices);
+  let per_ot = float_of_int (Meter.total meter) /. float_of_int m in
+  let base_per_ot = float_of_int (3 * Group.element_bytes grp + 2) in
+  Alcotest.(check bool) "amortized cheaper than base" true (per_ot < base_per_ot)
+
+
+(* ------------------------------------------------------------------ *)
+(* Schnorr signatures                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_schnorr_sign_verify () =
+  let t = prg "schnorr" in
+  let sk, pk = Schnorr.keygen t grp in
+  List.iter
+    (fun msg ->
+      let s = Schnorr.sign t grp sk msg in
+      Alcotest.(check bool) ("verifies: " ^ msg) true (Schnorr.verify grp pk msg s))
+    [ ""; "roster"; "cert:0:1:deadbeef"; String.make 1000 'x' ]
+
+let test_schnorr_rejects_wrong_message () =
+  let t = prg "schnorr-msg" in
+  let sk, pk = Schnorr.keygen t grp in
+  let s = Schnorr.sign t grp sk "original" in
+  Alcotest.(check bool) "tampered message" false (Schnorr.verify grp pk "tampered" s)
+
+let test_schnorr_rejects_wrong_key () =
+  let t = prg "schnorr-key" in
+  let sk, _ = Schnorr.keygen t grp in
+  let _, pk2 = Schnorr.keygen t grp in
+  let s = Schnorr.sign t grp sk "msg" in
+  Alcotest.(check bool) "wrong key" false (Schnorr.verify grp pk2 "msg" s)
+
+let test_schnorr_rejects_tampered_signature () =
+  let t = prg "schnorr-tamper" in
+  let sk, pk = Schnorr.keygen t grp in
+  let s = Schnorr.sign t grp sk "msg" in
+  let bumped = { s with Schnorr.response = Group.exp_add grp s.Schnorr.response Nat.one } in
+  Alcotest.(check bool) "tampered response" false (Schnorr.verify grp pk "msg" bumped)
+
+let test_schnorr_signatures_randomized () =
+  (* Fresh commitment per signature: signing twice yields different
+     signatures that both verify. *)
+  let t = prg "schnorr-rand" in
+  let sk, pk = Schnorr.keygen t grp in
+  let s1 = Schnorr.sign t grp sk "m" and s2 = Schnorr.sign t grp sk "m" in
+  Alcotest.(check bool) "distinct" false (Nat.equal s1.Schnorr.response s2.Schnorr.response);
+  Alcotest.(check bool) "both verify" true
+    (Schnorr.verify grp pk "m" s1 && Schnorr.verify grp pk "m" s2)
+
+(* ------------------------------------------------------------------ *)
+(* Wire format                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_wire_element_roundtrip () =
+  let t = prg "wire-elt" in
+  for _ = 1 to 20 do
+    let e = Group.pow_g grp (Group.random_exponent t grp) in
+    let b = Wire.encode_element grp e in
+    Alcotest.(check int) "fixed width" (Group.element_bytes grp) (Bytes.length b);
+    Alcotest.(check bool) "roundtrip" true
+      (Group.elt_equal e (Wire.decode_element grp (Wire.reader b)))
+  done
+
+let test_wire_rejects_non_element () =
+  (* p - 1 is not in the order-q subgroup of squares. *)
+  let bad = Nat.sub (Group.p grp) Nat.one in
+  let b = Wire.encode_element grp bad in
+  Alcotest.(check bool) "rejected" true
+    (try ignore (Wire.decode_element grp (Wire.reader b)); false
+     with Failure _ -> true)
+
+let test_wire_rejects_truncation () =
+  let t = prg "wire-trunc" in
+  let e = Group.pow_g grp (Group.random_exponent t grp) in
+  let b = Wire.encode_element grp e in
+  let short = Bytes.sub b 0 (Bytes.length b - 1) in
+  Alcotest.(check bool) "truncated rejected" true
+    (try ignore (Wire.decode_element grp (Wire.reader short)); false
+     with Failure _ -> true)
+
+let test_wire_ciphertext_roundtrip () =
+  let t = prg "wire-ct" in
+  let _, pk = Exp_elgamal.keygen t grp in
+  let c = Exp_elgamal.encrypt t grp pk 77 in
+  let r = Wire.reader (Wire.encode_ciphertext grp c) in
+  Alcotest.(check bool) "roundtrip" true
+    (Elgamal.ciphertext_equal c (Wire.decode_ciphertext grp r))
+
+let test_wire_multi_bundle () =
+  let t = prg "wire-multi" in
+  let keys = List.init 4 (fun _ -> snd (Exp_elgamal.keygen t grp)) in
+  let bundle = Exp_elgamal.encrypt_multi t grp (List.map (fun k -> (k, 3)) keys) in
+  let encoded = Wire.encode_multi_bundle grp bundle in
+  Alcotest.(check int) "exact predicted size" (Wire.multi_bundle_bytes grp 4)
+    (Bytes.length encoded);
+  let c1, c2s = Wire.decode_multi_bundle grp (Wire.reader encoded) in
+  Alcotest.(check bool) "c1" true (Group.elt_equal (fst bundle) c1);
+  Alcotest.(check int) "bodies" 4 (List.length c2s);
+  List.iter2
+    (fun a b -> Alcotest.(check bool) "body" true (Group.elt_equal a b))
+    (snd bundle) c2s
+
+let test_wire_bundle_bad_count_rejected () =
+  (* A forged length prefix claiming an implausible body count must be
+     rejected before any allocation is attempted. *)
+  let forged = Bytes.cat (Bytes.of_string "\x7f\xff\xff\xff") (Bytes.create 16) in
+  Alcotest.(check bool) "rejected" true
+    (try ignore (Wire.decode_multi_bundle grp (Wire.reader forged)); false
+     with Failure _ -> true)
+
+let test_wire_signature_roundtrip () =
+  let t = prg "wire-sig" in
+  let sk, pk = Schnorr.keygen t grp in
+  let s = Schnorr.sign t grp sk "hello" in
+  let s' = Wire.decode_signature grp (Wire.reader (Wire.encode_signature grp s)) in
+  Alcotest.(check bool) "still verifies" true (Schnorr.verify grp pk "hello" s')
+
+let test_wire_bits_roundtrip () =
+  let t = prg "wire-bits" in
+  List.iter
+    (fun n ->
+      let v = Prg.bits t n in
+      let v' = Wire.decode_bits (Wire.reader (Wire.encode_bits v)) in
+      Alcotest.(check bool) (Printf.sprintf "bits %d" n) true
+        (Dstress_util.Bitvec.equal v v'))
+    [ 0; 1; 7; 8; 9; 64; 100 ]
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_exp_elgamal_roundtrip =
+  QCheck2.Test.make ~name:"exp-elgamal roundtrip" ~count:50
+    QCheck2.Gen.(int_range (-1000) 1000)
+    (fun v ->
+      let t = prg ("prop" ^ string_of_int v) in
+      let sk, pk = Exp_elgamal.keygen t grp in
+      Exp_elgamal.decrypt grp sk table (Exp_elgamal.encrypt t grp pk v) = Some v)
+
+let prop_exp_elgamal_sum =
+  QCheck2.Test.make ~name:"exp-elgamal additive homomorphism" ~count:50
+    QCheck2.Gen.(pair (int_range (-400) 400) (int_range (-400) 400))
+    (fun (a, b) ->
+      let t = prg (Printf.sprintf "prop-sum-%d-%d" a b) in
+      let sk, pk = Exp_elgamal.keygen t grp in
+      let c =
+        Exp_elgamal.add grp
+          (Exp_elgamal.encrypt t grp pk a)
+          (Exp_elgamal.encrypt t grp pk b)
+      in
+      Exp_elgamal.decrypt grp sk table c = Some (a + b))
+
+let () =
+  let qsuite =
+    List.map QCheck_alcotest.to_alcotest [ prop_exp_elgamal_roundtrip; prop_exp_elgamal_sum ]
+  in
+  Alcotest.run "crypto"
+    [
+      ( "sha256",
+        [
+          Alcotest.test_case "FIPS vectors" `Quick test_sha256_fips_vectors;
+          Alcotest.test_case "block boundaries" `Quick test_sha256_block_boundaries;
+          Alcotest.test_case "million a" `Slow test_sha256_million_a;
+          Alcotest.test_case "hmac rfc4231" `Quick test_hmac_rfc4231;
+          Alcotest.test_case "hmac long key" `Quick test_hmac_long_key;
+        ] );
+      ( "prg",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prg_deterministic;
+          Alcotest.test_case "distinct keys" `Quick test_prg_distinct_keys;
+          Alcotest.test_case "nat_below" `Quick test_prg_nat_below;
+          Alcotest.test_case "bits length" `Quick test_prg_bits_length;
+          Alcotest.test_case "bool balanced" `Quick test_prg_bool_balanced;
+        ] );
+      ( "group",
+        [
+          Alcotest.test_case "generator order" `Quick test_group_generator_order;
+          Alcotest.test_case "safe prime" `Quick test_group_safe_prime;
+          Alcotest.test_case "all sizes" `Quick test_group_all_sizes;
+          Alcotest.test_case "unknown name" `Quick test_group_unknown_name;
+          Alcotest.test_case "pow_g" `Quick test_group_pow_g_matches_pow;
+          Alcotest.test_case "inverse" `Quick test_group_inverse;
+          Alcotest.test_case "exponent arithmetic" `Quick test_group_exp_arith;
+          Alcotest.test_case "make rejects bad params" `Quick test_group_make_rejects_bad;
+        ] );
+      ( "elgamal",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_elgamal_roundtrip;
+          Alcotest.test_case "homomorphism" `Quick test_elgamal_homomorphism;
+          Alcotest.test_case "wrong key" `Quick test_elgamal_wrong_key;
+        ] );
+      ( "exp-elgamal",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_exp_elgamal_roundtrip;
+          Alcotest.test_case "additive" `Quick test_exp_elgamal_additive;
+          Alcotest.test_case "add_clear" `Quick test_exp_elgamal_add_clear;
+          Alcotest.test_case "out of table" `Quick test_exp_elgamal_out_of_table;
+          Alcotest.test_case "rerandomized key" `Quick test_exp_elgamal_rerandomized_key;
+          Alcotest.test_case "sum then adjust" `Quick
+            test_exp_elgamal_homomorphism_after_adjust;
+          Alcotest.test_case "multi recipient" `Quick test_exp_elgamal_multi_recipient;
+          Alcotest.test_case "multi bandwidth" `Quick test_exp_elgamal_multi_bandwidth;
+          Alcotest.test_case "table size" `Quick test_table_size;
+        ] );
+      ( "base-ot",
+        [
+          Alcotest.test_case "all bit cases" `Quick test_base_ot_all_cases;
+          Alcotest.test_case "byte messages" `Quick test_base_ot_bytes;
+          Alcotest.test_case "length mismatch" `Quick test_base_ot_length_mismatch;
+          Alcotest.test_case "random point" `Quick test_random_point_is_element;
+        ] );
+      ( "schnorr",
+        [
+          Alcotest.test_case "sign/verify" `Quick test_schnorr_sign_verify;
+          Alcotest.test_case "wrong message" `Quick test_schnorr_rejects_wrong_message;
+          Alcotest.test_case "wrong key" `Quick test_schnorr_rejects_wrong_key;
+          Alcotest.test_case "tampered signature" `Quick test_schnorr_rejects_tampered_signature;
+          Alcotest.test_case "randomized" `Quick test_schnorr_signatures_randomized;
+        ] );
+      ( "wire",
+        [
+          Alcotest.test_case "element roundtrip" `Quick test_wire_element_roundtrip;
+          Alcotest.test_case "rejects non-element" `Quick test_wire_rejects_non_element;
+          Alcotest.test_case "rejects truncation" `Quick test_wire_rejects_truncation;
+          Alcotest.test_case "ciphertext roundtrip" `Quick test_wire_ciphertext_roundtrip;
+          Alcotest.test_case "multi bundle" `Quick test_wire_multi_bundle;
+          Alcotest.test_case "forged bundle count" `Quick test_wire_bundle_bad_count_rejected;
+          Alcotest.test_case "signature roundtrip" `Quick test_wire_signature_roundtrip;
+          Alcotest.test_case "bits roundtrip" `Quick test_wire_bits_roundtrip;
+        ] );
+      ( "ot-extension",
+        [
+          Alcotest.test_case "byte messages" `Quick test_ot_ext_bytes;
+          Alcotest.test_case "bit messages" `Quick test_ot_ext_bits;
+          Alcotest.test_case "multiple batches" `Quick test_ot_ext_multiple_batches;
+          Alcotest.test_case "simulation mode" `Quick test_ot_ext_simulation_mode;
+          Alcotest.test_case "amortized traffic" `Quick test_ot_ext_amortized_traffic;
+        ] );
+      ("properties", qsuite);
+    ]

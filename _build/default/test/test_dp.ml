@@ -1,0 +1,333 @@
+open Dstress_dp
+module Prng = Dstress_util.Prng
+module Stats = Dstress_util.Stats
+module Builder = Dstress_circuit.Builder
+module Word = Dstress_circuit.Word
+module Circuit = Dstress_circuit.Circuit
+
+let prng () = Prng.of_int 0xD9
+
+(* ------------------------------------------------------------------ *)
+(* Laplace                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_laplace_moments () =
+  let t = prng () in
+  let scale = 3.0 in
+  let n = 50_000 in
+  let xs = Array.init n (fun _ -> Mechanism.laplace t ~scale) in
+  Alcotest.(check bool) "mean near 0" true (abs_float (Stats.mean xs) < 0.1);
+  (* Var(Laplace(b)) = 2 b^2 -> std = b * sqrt 2. *)
+  let expected_std = scale *. sqrt 2.0 in
+  Alcotest.(check bool) "std near b*sqrt2" true
+    (abs_float (Stats.stddev xs -. expected_std) < 0.15)
+
+let test_laplace_symmetric () =
+  let t = prng () in
+  let n = 20_000 in
+  let pos = ref 0 in
+  for _ = 1 to n do
+    if Mechanism.laplace t ~scale:1.0 > 0.0 then incr pos
+  done;
+  Alcotest.(check bool) "symmetric" true (abs (!pos - (n / 2)) < 500)
+
+let test_laplace_rejects_bad_scale () =
+  Alcotest.check_raises "scale <= 0" (Invalid_argument "Mechanism.laplace: scale <= 0")
+    (fun () -> ignore (Mechanism.laplace (prng ()) ~scale:0.0))
+
+let test_laplace_mechanism_centers () =
+  let t = prng () in
+  let n = 20_000 in
+  let xs =
+    Array.init n (fun _ ->
+        Mechanism.laplace_mechanism t ~sensitivity:2.0 ~epsilon:1.0 100.0)
+  in
+  Alcotest.(check bool) "centered at value" true (abs_float (Stats.mean xs -. 100.0) < 0.1)
+
+(* ------------------------------------------------------------------ *)
+(* Geometric                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_geometric_one_sided_pmf () =
+  let t = prng () in
+  let alpha = 0.6 in
+  let n = 100_000 in
+  let counts = Array.make 20 0 in
+  for _ = 1 to n do
+    let k = Mechanism.geometric_one_sided t ~alpha in
+    if k < 20 then counts.(k) <- counts.(k) + 1
+  done;
+  for k = 0 to 5 do
+    let expected = (1.0 -. alpha) *. (alpha ** float_of_int k) in
+    let got = float_of_int counts.(k) /. float_of_int n in
+    Alcotest.(check bool)
+      (Printf.sprintf "P(X=%d)" k)
+      true
+      (abs_float (got -. expected) < 0.01)
+  done
+
+let test_geometric_two_sided_symmetric_pmf () =
+  let t = prng () in
+  let alpha = 0.5 in
+  let n = 100_000 in
+  let counts = Hashtbl.create 64 in
+  for _ = 1 to n do
+    let d = Mechanism.geometric_two_sided t ~alpha in
+    Hashtbl.replace counts d (1 + Option.value ~default:0 (Hashtbl.find_opt counts d))
+  done;
+  let freq d = float_of_int (Option.value ~default:0 (Hashtbl.find_opt counts d)) /. float_of_int n in
+  for d = -3 to 3 do
+    let expected = (1.0 -. alpha) /. (1.0 +. alpha) *. (alpha ** float_of_int (abs d)) in
+    Alcotest.(check bool)
+      (Printf.sprintf "P(Y=%d)" d)
+      true
+      (abs_float (freq d -. expected) < 0.01)
+  done
+
+let test_transfer_noise_is_even () =
+  let t = prng () in
+  for _ = 1 to 1000 do
+    let v = Mechanism.transfer_noise t ~alpha:0.5 ~delta:20 in
+    Alcotest.(check int) "even" 0 (abs v mod 2)
+  done
+
+let test_geometric_mechanism_dp_ratio () =
+  (* Empirical check of the DP inequality: for neighboring values v, v+1
+     (sensitivity 1) the output distributions should differ by at most
+     e^eps pointwise (with sampling slack). *)
+  let eps = 0.8 in
+  let n = 200_000 in
+  let sample v =
+    let t = prng () in
+    let counts = Hashtbl.create 64 in
+    for _ = 1 to n do
+      let o = Mechanism.geometric_mechanism t ~sensitivity:1 ~epsilon:eps v in
+      Hashtbl.replace counts o (1 + Option.value ~default:0 (Hashtbl.find_opt counts o))
+    done;
+    counts
+  in
+  let c0 = sample 0 and c1 = sample 1 in
+  let ratio_ok = ref true in
+  Hashtbl.iter
+    (fun o n0 ->
+      match Hashtbl.find_opt c1 o with
+      | Some n1 when n0 > 1000 && n1 > 1000 ->
+          let r = float_of_int n0 /. float_of_int n1 in
+          if r > exp eps *. 1.25 || r < exp (-.eps) /. 1.25 then ratio_ok := false
+      | _ -> ())
+    c0;
+  Alcotest.(check bool) "pointwise ratio bounded" true !ratio_ok
+
+let test_alpha_epsilon_inverse () =
+  Alcotest.(check (float 1e-9)) "roundtrip" 0.37
+    (Mechanism.alpha_of_epsilon
+       ~epsilon:(Mechanism.epsilon_of_alpha ~alpha:0.37))
+
+let test_cdf_two_sided () =
+  let alpha = 0.5 in
+  (* F(0) = (1-a)/(1+a) = 1/3 for a = 0.5. *)
+  Alcotest.(check (float 1e-9)) "F(0)" (1.0 /. 3.0) (Mechanism.cdf_two_sided ~alpha 0);
+  Alcotest.(check (float 1e-9)) "F(-1)" 0.0 (Mechanism.cdf_two_sided ~alpha (-1));
+  (* F(k) -> 1. *)
+  Alcotest.(check bool) "limit" true (Mechanism.cdf_two_sided ~alpha 60 > 0.999999)
+
+let test_failure_probability () =
+  (* For alpha -> 0 the noise is almost surely 0 and P_fail -> 0; for a
+     1-entry table, P_fail should be substantial. *)
+  Alcotest.(check bool) "tiny alpha" true
+    (Mechanism.failure_probability ~alpha:0.01 ~table_entries:100 < 1e-10);
+  Alcotest.(check bool) "large alpha small table" true
+    (Mechanism.failure_probability ~alpha:0.99 ~table_entries:4 > 0.5)
+
+let test_max_alpha_bisection () =
+  let table_entries = 1000 in
+  let target = 1e-6 in
+  let alpha = Mechanism.max_alpha_for_failure ~table_entries ~target in
+  Alcotest.(check bool) "achieves target" true
+    (Mechanism.failure_probability ~alpha ~table_entries <= target);
+  Alcotest.(check bool) "is maximal" true
+    (Mechanism.failure_probability ~alpha:(alpha +. 0.01) ~table_entries > target)
+
+(* ------------------------------------------------------------------ *)
+(* Budget                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_budget_accounting () =
+  let b = Budget.create ~epsilon_max:(log 2.0) in
+  Alcotest.(check bool) "first query fits" true
+    (Result.is_ok (Budget.spend b ~label:"q1" ~epsilon:0.23));
+  Alcotest.(check bool) "second query fits" true
+    (Result.is_ok (Budget.spend b ~label:"q2" ~epsilon:0.23));
+  Alcotest.(check bool) "third query fits" true
+    (Result.is_ok (Budget.spend b ~label:"q3" ~epsilon:0.23));
+  (* ln 2 = 0.693: exactly three 0.23 queries fit (paper §4.5). *)
+  Alcotest.(check bool) "fourth query rejected" true
+    (Result.is_error (Budget.spend b ~label:"q4" ~epsilon:0.23));
+  Alcotest.(check int) "ledger" 3 (List.length (Budget.ledger b))
+
+let test_budget_rejection_does_not_charge () =
+  let b = Budget.create ~epsilon_max:1.0 in
+  ignore (Budget.spend b ~label:"a" ~epsilon:0.9);
+  ignore (Budget.spend b ~label:"too-big" ~epsilon:0.5);
+  Alcotest.(check (float 1e-9)) "spent unchanged" 0.9 (Budget.spent b)
+
+let test_budget_replenish () =
+  let b = Budget.create ~epsilon_max:1.0 in
+  ignore (Budget.spend b ~label:"a" ~epsilon:0.8);
+  Budget.replenish b;
+  Alcotest.(check (float 1e-9)) "reset" 1.0 (Budget.remaining b);
+  Alcotest.(check int) "ledger cleared" 0 (List.length (Budget.ledger b))
+
+let test_budget_bad_params () =
+  Alcotest.check_raises "bad max" (Invalid_argument "Budget.create: epsilon_max <= 0")
+    (fun () -> ignore (Budget.create ~epsilon_max:0.0));
+  let b = Budget.create ~epsilon_max:1.0 in
+  Alcotest.check_raises "bad spend" (Invalid_argument "Budget.spend: epsilon <= 0")
+    (fun () -> ignore (Budget.spend b ~label:"x" ~epsilon:(-1.0)))
+
+(* ------------------------------------------------------------------ *)
+(* Noise circuit                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let eval_noise_circuit ~alpha ~max_magnitude ~bits uniform_val sign_val =
+  let ubits = Noise_circuit.default_uniform_bits in
+  let b = Builder.create () in
+  let uniform = Word.inputs b ~bits:ubits in
+  let sign = Builder.input b in
+  let noise = Noise_circuit.signed_noise b ~alpha ~max_magnitude ~bits ~uniform ~sign in
+  let c = Builder.finish b ~outputs:noise in
+  let inputs =
+    Array.append
+      (Array.init ubits (fun i -> (uniform_val lsr i) land 1 = 1))
+      [| sign_val |]
+  in
+  let out = Circuit.eval c inputs in
+  let v = ref 0 in
+  for i = bits - 1 downto 0 do
+    v := (!v lsl 1) lor (if out.(i) then 1 else 0)
+  done;
+  (* interpret as signed *)
+  if !v >= 1 lsl (bits - 1) then !v - (1 lsl bits) else !v
+
+let test_noise_circuit_thresholds_monotone () =
+  let ts = Noise_circuit.thresholds ~alpha:0.7 ~max_magnitude:20 ~uniform_bits:32 in
+  for i = 1 to 19 do
+    Alcotest.(check bool) "monotone" true (ts.(i) >= ts.(i - 1))
+  done
+
+let test_noise_circuit_extremes () =
+  (* uniform = 0: below every threshold, magnitude 0 regardless of sign. *)
+  Alcotest.(check int) "u=0 -> 0" 0 (eval_noise_circuit ~alpha:0.5 ~max_magnitude:7 ~bits:8 0 false);
+  (* uniform = all ones: above every threshold, saturates at max. *)
+  let all_ones = (1 lsl 32) - 1 in
+  Alcotest.(check int) "u=max -> saturate" 7
+    (eval_noise_circuit ~alpha:0.5 ~max_magnitude:7 ~bits:8 all_ones false);
+  Alcotest.(check int) "sign negates" (-7)
+    (eval_noise_circuit ~alpha:0.5 ~max_magnitude:7 ~bits:8 all_ones true)
+
+let test_noise_circuit_distribution () =
+  (* Empirical distribution through the actual circuit should match the
+     two-sided geometric restricted to magnitudes < max. *)
+  let alpha = 0.5 in
+  let t = prng () in
+  let n = 3000 in
+  let counts = Hashtbl.create 32 in
+  for _ = 1 to n do
+    let u = Prng.bits t 32 in
+    let s = Prng.bool t in
+    let v = eval_noise_circuit ~alpha ~max_magnitude:15 ~bits:8 u s in
+    Hashtbl.replace counts v (1 + Option.value ~default:0 (Hashtbl.find_opt counts v))
+  done;
+  let freq d = float_of_int (Option.value ~default:0 (Hashtbl.find_opt counts d)) /. float_of_int n in
+  (* P(|Y| = 0) = (1-a)/(1+a); halves go to each sign for |Y| > 0. *)
+  let base = (1.0 -. alpha) /. (1.0 +. alpha) in
+  Alcotest.(check bool) "P(0)" true (abs_float (freq 0 -. base) < 0.04);
+  List.iter
+    (fun d ->
+      let expected = base *. (alpha ** float_of_int (abs d)) in
+      Alcotest.(check bool)
+        (Printf.sprintf "P(%d)" d)
+        true
+        (abs_float (freq d -. expected) < 0.03))
+    [ 1; -1; 2; -2 ]
+
+let test_noise_circuit_add_noise () =
+  let b = Builder.create () in
+  let ubits = Noise_circuit.default_uniform_bits in
+  let value = Word.inputs b ~bits:10 in
+  let uniform = Word.inputs b ~bits:ubits in
+  let sign = Builder.input b in
+  let noised = Noise_circuit.add_noise b ~alpha:0.5 ~max_magnitude:7 ~value ~uniform ~sign in
+  let c = Builder.finish b ~outputs:noised in
+  (* uniform = 0 -> zero noise: output equals input. *)
+  let inputs =
+    Array.concat
+      [
+        Array.init 10 (fun i -> (300 lsr i) land 1 = 1);
+        Array.make ubits false;
+        [| false |];
+      ]
+  in
+  let out = Circuit.eval c inputs in
+  let v = ref 0 in
+  for i = 9 downto 0 do
+    v := (!v lsl 1) lor (if out.(i) then 1 else 0)
+  done;
+  Alcotest.(check int) "zero noise passthrough" 300 !v
+
+let test_noise_circuit_bad_params () =
+  let b = Builder.create () in
+  let uniform = Word.inputs b ~bits:32 in
+  Alcotest.check_raises "bad alpha" (Invalid_argument "Noise_circuit: alpha out of (0,1)")
+    (fun () -> ignore (Noise_circuit.magnitude b ~alpha:1.5 ~max_magnitude:4 ~uniform))
+
+let test_noise_circuit_gate_count_scales () =
+  (* The noising circuit is linear in max_magnitude — this is why the
+     paper's noising MPC is its largest circuit. *)
+  let build m =
+    let b = Builder.create () in
+    let uniform = Word.inputs b ~bits:32 in
+    let w = Noise_circuit.magnitude b ~alpha:0.9 ~max_magnitude:m ~uniform in
+    Circuit.and_count (Builder.finish b ~outputs:w)
+  in
+  let a = build 8 and b = build 64 in
+  Alcotest.(check bool) "scales with magnitude" true (b > 4 * a)
+
+let () =
+  Alcotest.run "dp"
+    [
+      ( "laplace",
+        [
+          Alcotest.test_case "moments" `Quick test_laplace_moments;
+          Alcotest.test_case "symmetric" `Quick test_laplace_symmetric;
+          Alcotest.test_case "rejects bad scale" `Quick test_laplace_rejects_bad_scale;
+          Alcotest.test_case "mechanism centers" `Quick test_laplace_mechanism_centers;
+        ] );
+      ( "geometric",
+        [
+          Alcotest.test_case "one-sided pmf" `Quick test_geometric_one_sided_pmf;
+          Alcotest.test_case "two-sided pmf" `Quick test_geometric_two_sided_symmetric_pmf;
+          Alcotest.test_case "transfer noise even" `Quick test_transfer_noise_is_even;
+          Alcotest.test_case "dp ratio" `Slow test_geometric_mechanism_dp_ratio;
+          Alcotest.test_case "alpha/epsilon inverse" `Quick test_alpha_epsilon_inverse;
+          Alcotest.test_case "cdf" `Quick test_cdf_two_sided;
+          Alcotest.test_case "failure probability" `Quick test_failure_probability;
+          Alcotest.test_case "max alpha bisection" `Quick test_max_alpha_bisection;
+        ] );
+      ( "budget",
+        [
+          Alcotest.test_case "accounting" `Quick test_budget_accounting;
+          Alcotest.test_case "rejection free" `Quick test_budget_rejection_does_not_charge;
+          Alcotest.test_case "replenish" `Quick test_budget_replenish;
+          Alcotest.test_case "bad params" `Quick test_budget_bad_params;
+        ] );
+      ( "noise-circuit",
+        [
+          Alcotest.test_case "thresholds monotone" `Quick test_noise_circuit_thresholds_monotone;
+          Alcotest.test_case "extremes" `Quick test_noise_circuit_extremes;
+          Alcotest.test_case "distribution" `Quick test_noise_circuit_distribution;
+          Alcotest.test_case "add noise" `Quick test_noise_circuit_add_noise;
+          Alcotest.test_case "bad params" `Quick test_noise_circuit_bad_params;
+          Alcotest.test_case "gate count scales" `Quick test_noise_circuit_gate_count_scales;
+        ] );
+    ]
