@@ -24,6 +24,7 @@ let experiments : (string * string * (quick:bool -> unit -> unit)) list =
     ("ablation-aggregation", "§3.6: aggregation tree ablation", Ablation.aggregation);
     ("ablation-buckets", "§3.7: degree bucketing ablation", Ablation.degree_bucketing);
     ("2pc-comparison", "§6: garbled circuits vs GMW", Ablation.twopc);
+    ("fault-sweep", "§3.8: recovery cost vs injected fault rate", Fault_bench.run);
   ]
 
 let () =

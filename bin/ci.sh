@@ -1,0 +1,17 @@
+#!/bin/sh
+# CI driver: everything must build (including benches and examples) and
+# every test suite must pass. Run from anywhere inside the repo.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build @check =="
+dune build @check
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+echo "CI OK"

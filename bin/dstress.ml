@@ -16,6 +16,7 @@ module Projection = Dstress_costmodel.Projection
 module Utility = Dstress_costmodel.Utility
 module Edge_privacy = Dstress_transfer.Edge_privacy
 module Matmul = Dstress_baseline.Matmul
+module Fault = Dstress_faults.Fault
 
 (* ------------------------------------------------------------------ *)
 (* Shared arguments                                                    *)
@@ -61,6 +62,59 @@ let reference_only_arg =
     value & flag
     & info [ "reference-only" ] ~doc:"Skip MPC; run only the cleartext oracle.")
 
+let fault_rate_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "fault-rate" ] ~docv:"FLOAT"
+        ~doc:
+          "Per-(edge, round) probability of injecting a dropped, delayed or corrupted \
+           transfer and of forcing a decryption-table miss. 0 disables injection.")
+
+let fault_crashes_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "fault-crashes" ] ~docv:"INT"
+        ~doc:"Crash that many distinct block members at random mid-run rounds.")
+
+let max_retries_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "max-retries" ] ~docv:"INT"
+        ~doc:
+          "Transfer retries after a decryption failure, before escalating to the \
+           widened lookup table.")
+
+let backoff_arg =
+  Arg.(
+    value & opt float 0.05
+    & info [ "backoff" ] ~docv:"SECONDS"
+        ~doc:"Base simulated retry backoff; doubles on every retry.")
+
+(* Fault plans are drawn against the concrete graph, so this runs after
+   graph construction, just before the engine starts. *)
+let faulty_config cfg ~graph ~iterations ~seed ~fault_rate ~fault_crashes ~max_retries
+    ~backoff =
+  let rounds = iterations + 1 in
+  let nodes = Graph.n graph in
+  let plan =
+    (if fault_rate > 0.0 then
+       let rates =
+         { Fault.no_faults with
+           drop = fault_rate;
+           delay = fault_rate;
+           corrupt = fault_rate;
+           miss = fault_rate;
+         }
+       in
+       Fault.random_plan ~seed ~rounds ~nodes ~edges:(Graph.edges graph) rates
+     else Fault.empty)
+    @
+    if fault_crashes > 0 then
+      Fault.random_crashes ~seed ~nodes ~rounds ~count:fault_crashes
+    else Fault.empty
+  in
+  { cfg with Engine.fault_plan = plan; max_retries; backoff }
+
 (* ------------------------------------------------------------------ *)
 (* stress command                                                      *)
 (* ------------------------------------------------------------------ *)
@@ -71,7 +125,8 @@ let make_network ~seed ~core ~periphery ~shock =
   let inst = Banking.en_of_topology prng topo () in
   (Banking.shock_en prng inst topo shock, topo)
 
-let stress model seed grpname k core periphery iterations epsilon shock reference_only =
+let stress model seed grpname k core periphery iterations epsilon shock reference_only
+    fault_rate fault_crashes max_retries backoff =
   let grp = Group.by_name grpname in
   let inst, _ = make_network ~seed ~core ~periphery ~shock in
   match model with
@@ -86,8 +141,9 @@ let stress model seed grpname k core periphery iterations epsilon shock referenc
         let p = En_program.make ~epsilon ~sensitivity:20 ~l ~degree ~iterations () in
         let states = En_program.encode_instance inst ~graph ~l ~degree ~scale in
         let cfg =
-          Engine.default_config grp ~k ~degree_bound:degree
-            ~seed:(string_of_int seed)
+          faulty_config
+            (Engine.default_config grp ~k ~degree_bound:degree ~seed:(string_of_int seed))
+            ~graph ~iterations ~seed ~fault_rate ~fault_crashes ~max_retries ~backoff
         in
         let report = Engine.run cfg p ~graph ~initial_states:states in
         Printf.printf "DStress noised TDS:   $%.2f\n"
@@ -113,7 +169,9 @@ let stress model seed grpname k core periphery iterations epsilon shock referenc
         in
         let states = Egj_program.encode_instance inst ~graph ~l ~frac ~degree ~scale in
         let cfg =
-          Engine.default_config grp ~k ~degree_bound:degree ~seed:(string_of_int seed)
+          faulty_config
+            (Engine.default_config grp ~k ~degree_bound:degree ~seed:(string_of_int seed))
+            ~graph ~iterations ~seed ~fault_rate ~fault_crashes ~max_retries ~backoff
         in
         let report = Engine.run cfg p ~graph ~initial_states:states in
         Printf.printf "DStress noised TDS:   $%.2f\n"
@@ -133,7 +191,8 @@ let stress_cmd =
     (Cmd.info "stress" ~doc)
     Term.(
       const stress $ model_arg $ seed_arg $ group_arg $ k_arg $ core_arg $ periphery_arg
-      $ iterations_arg $ epsilon_arg $ shock_arg $ reference_only_arg)
+      $ iterations_arg $ epsilon_arg $ shock_arg $ reference_only_arg $ fault_rate_arg
+      $ fault_crashes_arg $ max_retries_arg $ backoff_arg)
 
 (* ------------------------------------------------------------------ *)
 (* project command                                                     *)

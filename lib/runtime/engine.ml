@@ -11,6 +11,7 @@ module Gmw = Dstress_mpc.Gmw
 module Setup = Dstress_transfer.Setup
 module Protocol = Dstress_transfer.Protocol
 module Noise_circuit = Dstress_dp.Noise_circuit
+module Fault = Dstress_faults.Fault
 
 type aggregation = Single_block | Two_level of int
 
@@ -23,7 +24,15 @@ type config = {
   table_radius : int;
   aggregation : aggregation;
   seed : string;
+  fault_plan : Fault.plan;
+  max_retries : int;
+  backoff : float;
 }
+
+(* How much wider the escalation lookup table is than the regular one:
+   the last recovery attempt covers [-8r, k+1+8r] instead of [-r, k+1+r],
+   which drops the residual miss probability by ~alpha^(7r). *)
+let escalation_widening = 8
 
 let default_config ?(seed = "dstress") grp ~k ~degree_bound =
   {
@@ -35,7 +44,23 @@ let default_config ?(seed = "dstress") grp ~k ~degree_bound =
     table_radius = 120;
     aggregation = Single_block;
     seed;
+    fault_plan = Fault.empty;
+    max_retries = 2;
+    backoff = 0.05;
   }
+
+let validate_config cfg =
+  if cfg.k < 1 then invalid_arg "Engine.run: k must be >= 1 (blocks need k+1 >= 2 members)";
+  if cfg.degree_bound < 1 then invalid_arg "Engine.run: degree_bound must be >= 1";
+  if not (cfg.transfer_alpha > 0.0 && cfg.transfer_alpha < 1.0) then
+    invalid_arg "Engine.run: transfer_alpha must lie in (0, 1)";
+  if cfg.table_radius <= 0 then invalid_arg "Engine.run: table_radius must be > 0";
+  (match cfg.aggregation with
+  | Two_level fanout when fanout < 1 ->
+      invalid_arg "Engine.run: Two_level aggregation fan-out must be >= 1"
+  | Two_level _ | Single_block -> ());
+  if cfg.max_retries < 0 then invalid_arg "Engine.run: max_retries must be >= 0";
+  if cfg.backoff < 0.0 then invalid_arg "Engine.run: backoff must be >= 0"
 
 type phase = Setup | Initialization | Computation | Communication | Aggregation
 
@@ -55,27 +80,39 @@ type report = {
   phase_bytes : (phase * int) list;
   phase_seconds : (phase * float) list;
   transfer_failures : int;
+  recovered_failures : int;
+  unrecovered_failures : int;
+  transfer_retries : int;
+  crash_recoveries : int;
+  faults_injected : (Fault.kind * int) list;
+  retry_epsilon : float;
+  recovery_seconds : (phase * float) list;
   mpc_rounds : int;
   mpc_and_gates : int;
   mpc_ots : int;
   update_stats : Circuit.stats;
 }
 
-(* Accumulates wall-clock seconds and wire bytes per phase. *)
+(* Accumulates wall-clock seconds, wire bytes, and simulated recovery
+   delay (backoff, retransmissions) per phase. *)
 type accounting = {
   global : Traffic.t;
   seconds : (phase, float ref) Hashtbl.t;
   bytes : (phase, int ref) Hashtbl.t;
+  recovery : (phase, float ref) Hashtbl.t;
 }
 
 let make_accounting n =
-  let seconds = Hashtbl.create 8 and bytes = Hashtbl.create 8 in
+  let seconds = Hashtbl.create 8
+  and bytes = Hashtbl.create 8
+  and recovery = Hashtbl.create 8 in
   List.iter
     (fun p ->
       Hashtbl.replace seconds p (ref 0.0);
-      Hashtbl.replace bytes p (ref 0))
+      Hashtbl.replace bytes p (ref 0);
+      Hashtbl.replace recovery p (ref 0.0))
     all_phases;
-  { global = Traffic.create n; seconds; bytes }
+  { global = Traffic.create n; seconds; bytes; recovery }
 
 let in_phase acc phase f =
   let t0 = Unix.gettimeofday () in
@@ -85,6 +122,15 @@ let in_phase acc phase f =
   sec := !sec +. (Unix.gettimeofday () -. t0);
   byt := !byt + (Traffic.total acc.global - b0);
   result
+
+let add_recovery_seconds acc phase s =
+  let r = Hashtbl.find acc.recovery phase in
+  r := !r +. s
+
+(* Total simulated wait for [retries] exponential-backoff retransmissions
+   starting at [backoff] seconds: backoff * (2^retries - 1). *)
+let backoff_seconds ~backoff ~retries =
+  if retries <= 0 then 0.0 else backoff *. ((2.0 ** float_of_int retries) -. 1.0)
 
 (* Fold a block-local GMW traffic matrix into the global one. *)
 let merge_block_traffic acc session members =
@@ -121,6 +167,7 @@ let noise_input_shares prg ~kp1 =
   Array.init kp1 (fun _ -> Prg.bits prg (ubits + 1))
 
 let run cfg p ~graph ~initial_states =
+  validate_config cfg;
   let n = Graph.n graph in
   let kp1 = cfg.k + 1 in
   let d = cfg.degree_bound in
@@ -135,6 +182,7 @@ let run cfg p ~graph ~initial_states =
   let noise_prng = Prng.create (Int64.of_int (Hashtbl.hash ("noise:" ^ cfg.seed))) in
   let acc = make_accounting n in
   let ebytes = Group.element_bytes cfg.grp in
+  let injector = Fault.Injector.create cfg.fault_plan in
   (* --- Setup --------------------------------------------------- *)
   let setup =
     in_phase acc Setup (fun () ->
@@ -149,6 +197,14 @@ let run cfg p ~graph ~initial_states =
   in
   let table =
     Exp_elgamal.Table.make cfg.grp ~lo:(-cfg.table_radius) ~hi:(kp1 + cfg.table_radius)
+  in
+  let escalation_table =
+    lazy
+      (let radius = escalation_widening * cfg.table_radius in
+       Exp_elgamal.Table.make cfg.grp ~lo:(-radius) ~hi:(kp1 + radius))
+  in
+  let recovery =
+    { Protocol.max_retries = cfg.max_retries; escalation_table = Some escalation_table }
   in
   let params = { Protocol.alpha = cfg.transfer_alpha; table } in
   let update_c = Vertex_program.update_circuit p ~degree:d in
@@ -175,10 +231,43 @@ let run cfg p ~graph ~initial_states =
   let msg_in = Array.init n (fun _ -> Array.init d (fun _ -> zero_msg_shares ())) in
   let out_msgs = Array.init n (fun _ -> Array.init d (fun _ -> zero_msg_shares ())) in
   let failures = ref 0 in
+  let recovered = ref 0 in
+  let unrecovered = ref 0 in
+  let retries = ref 0 in
+  let crash_recoveries = ref 0 in
+  let retry_epsilon = ref 0.0 in
+  (* --- Crash recovery ------------------------------------------- *)
+  (* A crashed block member is fail-stop: the engine detects it by timeout
+     and a standby replacement takes over its slot. The surviving members
+     re-share every value the block holds for vertex i (state + inbox), so
+     the replacement starts from fresh shares and the XOR invariant is
+     preserved; the handoff is charged as re-sharing traffic plus one
+     backoff period. *)
+  let recover_crashes ~round i members =
+    Array.iter
+      (fun m ->
+        if Fault.Injector.crash_starting injector ~round ~node:m then begin
+          let values = state_shares.(i) :: Array.to_list msg_in.(i) in
+          let src_blocks = List.map (fun _ -> members) values in
+          let reshared =
+            reshare acc prg ~kp1 ~ebytes ~src_blocks ~dst_members:members values
+          in
+          (match reshared with
+          | st :: msgs ->
+              state_shares.(i) <- st;
+              List.iteri (fun s v -> msg_in.(i).(s) <- v) msgs
+          | [] -> assert false);
+          incr crash_recoveries;
+          add_recovery_seconds acc Computation cfg.backoff
+        end)
+      members
+  in
   (* --- Computation step ----------------------------------------- *)
-  let compute () =
+  let compute ~round () =
     in_phase acc Computation (fun () ->
         for i = 0 to n - 1 do
+          let members = Setup.block_of setup i in
+          recover_crashes ~round i members;
           let input_shares =
             Array.init kp1 (fun m ->
                 Bitvec.concat
@@ -193,11 +282,11 @@ let run cfg p ~graph ~initial_states =
                 out_msgs.(i).(s).(m) <- Bitvec.sub vec ~pos:(sb + (s * l)) ~len:l
               done)
             out;
-          merge_block_traffic acc sessions.(i) (Setup.block_of setup i)
+          merge_block_traffic acc sessions.(i) members
         done)
   in
   (* --- Communication step ---------------------------------------- *)
-  let communicate () =
+  let communicate ~round () =
     in_phase acc Communication (fun () ->
         (* Reset all inboxes to no-op shares; real messages overwrite. *)
         for i = 0 to n - 1 do
@@ -210,21 +299,46 @@ let run cfg p ~graph ~initial_states =
             let slot_out = Graph.out_slot graph ~src:i ~dst:j in
             let shares = Array.copy out_msgs.(i).(slot_out) in
             let nslot = Graph.neighbor_slot graph ~owner:j ~other:i in
+            let faults = Fault.Injector.edge_faults injector ~round ~src:i ~dst:j in
+            List.iter
+              (function
+                | Fault.Delay_transfer { seconds; _ } ->
+                    add_recovery_seconds acc Communication seconds
+                | _ -> ())
+              faults;
+            let has k = List.exists (fun f -> Fault.kind_of f = k) faults in
+            let inject =
+              if has Fault.Drop then Some Protocol.Drop_attempt
+              else if has Fault.Corrupt then Some Protocol.Corrupt_attempt
+              else if has Fault.Decrypt_miss then
+                (* Deterministic position derived from the edge and round,
+                   so replays force the same miss. *)
+                Some
+                  (Protocol.Force_miss
+                     { member = (i + j + round) mod kp1; bit = ((7 * i) + round) mod l })
+              else None
+            in
             let outcome =
-              Protocol.transfer params ~prg ~noise:noise_prng ~traffic:acc.global
-                ~variant:Protocol.Final ~setup ~sender:i ~receiver:j ~neighbor_slot:nslot
-                ~shares
+              Protocol.transfer ~recovery ?inject params ~prg ~noise:noise_prng
+                ~traffic:acc.global ~variant:Protocol.Final ~setup ~sender:i ~receiver:j
+                ~neighbor_slot:nslot ~shares
             in
             failures := !failures + outcome.Protocol.failures;
+            recovered := !recovered + outcome.Protocol.recovered;
+            unrecovered := !unrecovered + outcome.Protocol.unrecovered;
+            retries := !retries + outcome.Protocol.retries;
+            retry_epsilon := !retry_epsilon +. outcome.Protocol.extra_epsilon;
+            add_recovery_seconds acc Communication
+              (backoff_seconds ~backoff:cfg.backoff ~retries:outcome.Protocol.retries);
             msg_in.(j).(Graph.in_slot graph ~src:i ~dst:j) <- outcome.Protocol.shares)
           (Graph.edges graph))
   in
-  for _it = 1 to p.Vertex_program.iterations do
-    compute ();
-    communicate ()
+  for it = 1 to p.Vertex_program.iterations do
+    compute ~round:it ();
+    communicate ~round:it ()
   done;
   (* Final computation step (§3.6): process the last round of messages. *)
-  compute ();
+  compute ~round:(p.Vertex_program.iterations + 1) ();
   (* --- Aggregation + noising ------------------------------------ *)
   let agg_sessions = ref [] in
   let eval_in_block ~label members circuit input_shares =
@@ -262,7 +376,6 @@ let run cfg p ~graph ~initial_states =
             merge_block_traffic acc session dst_members;
             revealed
         | Two_level fanout ->
-            if fanout < 1 then invalid_arg "Engine.run: bad aggregation fan-out";
             let groups =
               let rec chunks start =
                 if start >= n then []
@@ -316,6 +429,13 @@ let run cfg p ~graph ~initial_states =
     phase_bytes = List.map (fun ph -> (ph, !(Hashtbl.find acc.bytes ph))) all_phases;
     phase_seconds = List.map (fun ph -> (ph, !(Hashtbl.find acc.seconds ph))) all_phases;
     transfer_failures = !failures;
+    recovered_failures = !recovered;
+    unrecovered_failures = !unrecovered;
+    transfer_retries = !retries;
+    crash_recoveries = !crash_recoveries;
+    faults_injected = Fault.Injector.injected injector;
+    retry_epsilon = !retry_epsilon;
+    recovery_seconds = List.map (fun ph -> (ph, !(Hashtbl.find acc.recovery ph))) all_phases;
     mpc_rounds = List.fold_left (fun a s -> a + Gmw.rounds s) 0 mpc_sessions;
     mpc_and_gates = List.fold_left (fun a s -> a + Gmw.and_gates_evaluated s) 0 mpc_sessions;
     mpc_ots = List.fold_left (fun a s -> a + Gmw.ots_performed s) 0 mpc_sessions;
@@ -371,13 +491,29 @@ let run_plaintext p ~degree_bound ~graph ~initial_states =
 
 let pp_report ppf r =
   let mb b = float_of_int b /. 1048576.0 in
-  Format.fprintf ppf "@[<v>output: %d@,transfer failures: %d@,MPC: %d rounds, %d AND gates, %d OTs@,update circuit: %a@,"
-    r.output r.transfer_failures r.mpc_rounds r.mpc_and_gates r.mpc_ots Circuit.pp_stats
-    r.update_stats;
+  Format.fprintf ppf "@[<v>output: %d@,transfer failures: %d (%d recovered, %d unrecovered, %d retries)@,"
+    r.output r.transfer_failures r.recovered_failures r.unrecovered_failures
+    r.transfer_retries;
+  let injected_total = List.fold_left (fun a (_, c) -> a + c) 0 r.faults_injected in
+  if injected_total > 0 || r.crash_recoveries > 0 then begin
+    Format.fprintf ppf "faults injected:";
+    List.iter
+      (fun (k, c) -> if c > 0 then Format.fprintf ppf " %s=%d" (Fault.kind_name k) c)
+      r.faults_injected;
+    Format.fprintf ppf " (crash recoveries: %d)@," r.crash_recoveries
+  end;
+  if r.retry_epsilon > 0.0 then
+    Format.fprintf ppf "extra edge-privacy eps from retries: %.4g@," r.retry_epsilon;
+  Format.fprintf ppf "MPC: %d rounds, %d AND gates, %d OTs@,update circuit: %a@,"
+    r.mpc_rounds r.mpc_and_gates r.mpc_ots Circuit.pp_stats r.update_stats;
   List.iter
     (fun (ph, b) ->
       let s = List.assoc ph r.phase_seconds in
-      Format.fprintf ppf "%-14s %8.3f s %10.3f MB@," (phase_name ph) s (mb b))
+      let rs = List.assoc ph r.recovery_seconds in
+      if rs > 0.0 then
+        Format.fprintf ppf "%-14s %8.3f s %10.3f MB (+%.3f s recovery)@," (phase_name ph) s
+          (mb b) rs
+      else Format.fprintf ppf "%-14s %8.3f s %10.3f MB@," (phase_name ph) s (mb b))
     r.phase_bytes;
   Format.fprintf ppf "total traffic: %.3f MB (mean %.3f MB/node)@]"
     (mb (Traffic.total r.traffic))

@@ -20,7 +20,19 @@
     The engine never reconstructs any intermediate value: the only opened
     value is the noised aggregate. All traffic is recorded per node, and
     wall-clock time is attributed to phases, which is exactly the
-    instrumentation the paper's Figures 3–6 report. *)
+    instrumentation the paper's Figures 3–6 report.
+
+    {b Fault injection and recovery.} A {!Dstress_faults.Fault.plan} in the
+    config injects deterministic faults into a run: crash a block member
+    for a window of rounds, drop/delay/corrupt an edge transfer, or force
+    a decryption-table miss. The engine degrades gracefully: crashed
+    members are replaced by standbys and the block's state is re-shared;
+    failed transfers are retried up to [max_retries] times with
+    exponential backoff (simulated, accounted separately from measured
+    wall-clock), escalating to an {!escalation_widening}-times-wider
+    lookup table before giving up. The {!report} itemizes injected faults,
+    retries, recovered/unrecovered failures, and the extra edge-privacy
+    budget consumed by retried transfers. *)
 
 type aggregation = Single_block | Two_level of int  (** fan-out of the leaf level *)
 
@@ -33,11 +45,24 @@ type config = {
   table_radius : int;  (** decryption lookup covers [-radius, k+1+radius] *)
   aggregation : aggregation;
   seed : string;
+  fault_plan : Dstress_faults.Fault.plan;  (** faults to inject (empty = none) *)
+  max_retries : int;  (** transfer retries before table escalation *)
+  backoff : float;  (** base simulated backoff in seconds (doubles per retry) *)
 }
 
 val default_config : ?seed:string -> Dstress_crypto.Group.t -> k:int -> degree_bound:int -> config
 (** Simulation OT mode, [transfer_alpha = 0.5], table radius 120,
-    single-block aggregation. *)
+    single-block aggregation, no faults, 2 retries, 50 ms base backoff. *)
+
+val escalation_widening : int
+(** Factor by which the last-resort decryption table is wider than
+    [table_radius]. *)
+
+val validate_config : config -> unit
+(** Raises [Invalid_argument] with a descriptive message if any field is
+    out of range ([k < 1], [transfer_alpha] outside (0,1), nonpositive
+    [table_radius], a [Two_level] fan-out < 1, negative [max_retries] or
+    [backoff]). Called by {!run} before any work starts. *)
 
 type phase = Setup | Initialization | Computation | Communication | Aggregation
 
@@ -50,6 +75,21 @@ type report = {
   phase_bytes : (phase * int) list;
   phase_seconds : (phase * float) list;
   transfer_failures : int;
+      (** decryption misses across all transfer attempts (incl. recovered) *)
+  recovered_failures : int;  (** misses fixed by a retry or table escalation *)
+  unrecovered_failures : int;
+      (** (member, bit) positions still untrusted after all attempts; the
+          protocol substituted the no-op value 0 and flagged them *)
+  transfer_retries : int;  (** transfer attempts beyond the first *)
+  crash_recoveries : int;  (** standby replacements of crashed block members *)
+  faults_injected : (Dstress_faults.Fault.kind * int) list;
+      (** per-kind count of plan entries that actually fired *)
+  retry_epsilon : float;
+      (** extra edge-privacy budget spent by retried transfers
+          ({!Dstress_transfer.Edge_privacy.retry_epsilon}) *)
+  recovery_seconds : (phase * float) list;
+      (** simulated backoff/handoff delay per phase — kept separate from
+          the measured [phase_seconds] *)
   mpc_rounds : int;
   mpc_and_gates : int;
   mpc_ots : int;

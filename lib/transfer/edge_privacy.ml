@@ -54,6 +54,14 @@ let max_alpha cfg ~table_entries =
 
 let per_transfer_epsilon ~alpha = Mechanism.epsilon_of_alpha ~alpha
 
+let observed_per_transfer ~k ~bits =
+  if k < 1 || bits < 1 then invalid_arg "Edge_privacy.observed_per_transfer: bad parameters";
+  k * bits
+
+let retry_epsilon ~alpha ~k ~bits ~retries =
+  if retries < 0 then invalid_arg "Edge_privacy.retry_epsilon: retries < 0";
+  float_of_int (retries * observed_per_transfer ~k ~bits) *. per_transfer_epsilon ~alpha
+
 let per_iteration_epsilon cfg ~alpha =
   float_of_int cfg.k *. float_of_int (cfg.k + 1) *. float_of_int cfg.bits
   *. per_transfer_epsilon ~alpha

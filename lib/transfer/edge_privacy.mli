@@ -38,6 +38,18 @@ val max_alpha : config -> table_entries:float -> float
 val per_transfer_epsilon : alpha:float -> float
 (** eps = -ln alpha per revealed sum. *)
 
+val observed_per_transfer : k:int -> bits:int -> int
+(** [k * bits]: how many noised bit-sums a coalition of [k] corrupted
+    members of the receiving block observes when one transfer's sums are
+    released. Raises [Invalid_argument] on nonpositive parameters. *)
+
+val retry_epsilon : alpha:float -> k:int -> bits:int -> retries:int -> float
+(** Budget cost of re-running a transfer [retries] times after decryption
+    failures: every retry re-releases a fresh set of noised sums, so each
+    one is charged [observed_per_transfer * per_transfer_epsilon] on top
+    of the baseline accounting. Raises [Invalid_argument] if
+    [retries < 0]. *)
+
 val per_iteration_epsilon : config -> alpha:float -> float
 (** k * (k+1) * L * eps: an adversary controlling k members of the
     receiving block observes that many sums per iteration per edge. *)

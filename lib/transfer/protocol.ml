@@ -11,19 +11,27 @@ type variant = Strawman1 | Strawman2 | Strawman3 | Final
 
 type params = { alpha : float; table : Exp_elgamal.Table.t }
 
+type recovery = {
+  max_retries : int;
+  escalation_table : Exp_elgamal.Table.t Lazy.t option;
+}
+
+let no_recovery = { max_retries = 0; escalation_table = None }
+
+type inject = Drop_attempt | Corrupt_attempt | Force_miss of { member : int; bit : int }
+
+type miss = { member : int; bit : int }
+
 type outcome = {
   shares : Bitvec.t array;
   failures : int;
+  misses : miss list;
+  retries : int;
+  recovered : int;
+  unrecovered : int;
+  extra_epsilon : float;
   sums : int array array option;
 }
-
-(* Decrypt one exponential-ElGamal value; count lookup misses. *)
-let decrypt_value grp table sk failures c =
-  match Exp_elgamal.decrypt grp sk table c with
-  | Some v -> v
-  | None ->
-      incr failures;
-      0
 
 let parity v = ((v mod 2) + 2) mod 2 = 1
 
@@ -53,8 +61,14 @@ let expected_bytes variant ~k ~bits ~element_bytes =
       let per_receiver = multi bits in
       (per_sender, i_to_j, per_receiver, (kp1 * per_sender) + i_to_j + (kp1 * per_receiver))
 
-let transfer params ~prg ~noise ~traffic ~variant ~setup ~sender ~receiver ~neighbor_slot
-    ~shares =
+(* One attempt of the transfer either delivers decrypted values (with the
+   positions that missed the lookup table) or is killed in flight by an
+   injected drop/corruption, which the receiver detects (timeout or failed
+   integrity check) without learning anything. *)
+type 'a attempt_status = Killed | Decrypted of 'a
+
+let transfer ?(recovery = no_recovery) ?inject params ~prg ~noise ~traffic ~variant ~setup
+    ~sender ~receiver ~neighbor_slot ~shares =
   let grp = setup.Setup.grp in
   let l = setup.Setup.bits in
   let kp1 = setup.Setup.k + 1 in
@@ -65,142 +79,243 @@ let transfer params ~prg ~noise ~traffic ~variant ~setup ~sender ~receiver ~neig
     shares;
   if neighbor_slot < 0 || neighbor_slot >= setup.Setup.degree_bound then
     invalid_arg "Protocol.transfer: bad neighbor slot";
+  if recovery.max_retries < 0 then invalid_arg "Protocol.transfer: max_retries < 0";
   let cert = setup.Setup.nodes.(receiver).certificates.(neighbor_slot) in
   let r = setup.Setup.nodes.(receiver).neighbor_keys.(neighbor_slot) in
   let ebytes = Group.element_bytes grp in
   let multi_bytes l = (l + 1) * ebytes in
-  let failures = ref 0 in
   let secret_of y t = setup.Setup.nodes.(bj.(y)).keys.Keys.secrets.(t) in
-  match variant with
-  | Strawman1 ->
-      (* Member x of B_i encrypts its own share, bit by bit, to the x-th
-         member of B_j. *)
-      let bundles =
-        Array.mapi
-          (fun x share ->
-            let recipients =
-              List.init l (fun t -> (cert.Setup.member_keys.(x).(t), if Bitvec.get share t then 1 else 0))
-            in
-            Exp_elgamal.encrypt_multi prg grp recipients)
-          shares
+  let zero_shares () = Array.init kp1 (fun _ -> Bitvec.create l false) in
+  let killed = function Some Drop_attempt | Some Corrupt_attempt -> true | _ -> false in
+  let forced inj ~member ~bit =
+    match inj with Some (Force_miss m) -> m.member = member && m.bit = bit | _ -> false
+  in
+  (* Run the whole protocol once with fresh randomness: new subshares, new
+     ephemerals, and (for Final) newly drawn geometric noise. *)
+  let attempt ~table ~inject =
+    let missed = ref [] in
+    let dec ~member ~bit c =
+      let result =
+        if forced inject ~member ~bit then None
+        else Exp_elgamal.decrypt grp (secret_of member bit) table c
       in
-      Array.iteri
-        (fun x _ -> Traffic.add traffic ~src:bi.(x) ~dst:sender (multi_bytes l))
-        bundles;
-      Traffic.add traffic ~src:sender ~dst:receiver (kp1 * multi_bytes l);
-      (* j adjusts every ephemeral and forwards each bundle to its member. *)
-      let new_shares =
-        Array.mapi
-          (fun y (c1, c2s) ->
-            let c1 = Group.pow grp c1 r in
-            Traffic.add traffic ~src:receiver ~dst:bj.(y) (multi_bytes l);
-            Bitvec.init l (fun t ->
-                let c = { Exp_elgamal.c1; c2 = List.nth c2s t } in
-                decrypt_value grp params.table (secret_of y t) failures c = 1))
-          bundles
-      in
-      { shares = new_shares; failures = !failures; sums = None }
-  | Strawman2 | Strawman3 | Final ->
-      (* Every member x splits its share into k+1 subshares (one per
-         recipient) and encrypts all (k+1)*L bits under one ephemeral. *)
-      let subshares = Array.map (fun s -> Sharing.subshare prg ~parties:kp1 s) shares in
-      let bundles =
-        Array.mapi
-          (fun x _ ->
-            let recipients =
-              List.concat
-                (List.init kp1 (fun y ->
-                     List.init l (fun t ->
-                         ( cert.Setup.member_keys.(y).(t),
-                           if Bitvec.get subshares.(x).(y) t then 1 else 0 ))))
-            in
-            Exp_elgamal.encrypt_multi prg grp recipients)
-          shares
-      in
-      Array.iteri
-        (fun x _ -> Traffic.add traffic ~src:bi.(x) ~dst:sender (multi_bytes (kp1 * l)))
-        bundles;
-      let c2_of (_, c2s) y t = List.nth c2s ((y * l) + t) in
-      let finish_shared_sums c1_combined c2_combined =
-        (* j adjusts the single combined ephemeral and hands each member
-           its L summed ciphertexts. *)
-        Traffic.add traffic ~src:sender ~dst:receiver (multi_bytes (kp1 * l));
-        let c1_adjusted = Group.pow grp c1_combined r in
-        let sums =
-          Array.init kp1 (fun y ->
-              Traffic.add traffic ~src:receiver ~dst:bj.(y) (multi_bytes l);
-              Array.init l (fun t ->
-                  let c = { Exp_elgamal.c1 = c1_adjusted; c2 = c2_combined.(y).(t) } in
-                  decrypt_value grp params.table (secret_of y t) failures c))
+      match result with
+      | Some v -> v
+      | None ->
+          missed := { member; bit } :: !missed;
+          0
+    in
+    match variant with
+    | Strawman1 ->
+        (* Member x of B_i encrypts its own share, bit by bit, to the x-th
+           member of B_j. *)
+        let bundles =
+          Array.mapi
+            (fun x share ->
+              let recipients =
+                List.init l (fun t ->
+                    (cert.Setup.member_keys.(x).(t), if Bitvec.get share t then 1 else 0))
+              in
+              Exp_elgamal.encrypt_multi prg grp recipients)
+            shares
         in
-        let new_shares = Array.map (fun row -> Bitvec.init l (fun t -> parity row.(t))) sums in
-        { shares = new_shares; failures = !failures; sums = Some sums }
-      in
-      let strawman2 () =
+        Array.iteri
+          (fun x _ -> Traffic.add traffic ~src:bi.(x) ~dst:sender (multi_bytes l))
+          bundles;
+        Traffic.add traffic ~src:sender ~dst:receiver (kp1 * multi_bytes l);
+        if killed inject then (zero_shares (), Killed, None)
+        else begin
+          (* j adjusts every ephemeral and forwards each bundle to its member. *)
+          let new_shares =
+            Array.mapi
+              (fun y (c1, c2s) ->
+                let c1 = Group.pow grp c1 r in
+                Traffic.add traffic ~src:receiver ~dst:bj.(y) (multi_bytes l);
+                Bitvec.init l (fun t ->
+                    let c = { Exp_elgamal.c1; c2 = List.nth c2s t } in
+                    dec ~member:y ~bit:t c = 1))
+              bundles
+          in
+          (new_shares, Decrypted (List.rev !missed), None)
+        end
+    | Strawman2 | Strawman3 | Final ->
+        (* Every member x splits its share into k+1 subshares (one per
+           recipient) and encrypts all (k+1)*L bits under one ephemeral. *)
+        let subshares = Array.map (fun s -> Sharing.subshare prg ~parties:kp1 s) shares in
+        let bundles =
+          Array.mapi
+            (fun x _ ->
+              let recipients =
+                List.concat
+                  (List.init kp1 (fun y ->
+                       List.init l (fun t ->
+                           ( cert.Setup.member_keys.(y).(t),
+                             if Bitvec.get subshares.(x).(y) t then 1 else 0 ))))
+              in
+              Exp_elgamal.encrypt_multi prg grp recipients)
+            shares
+        in
+        Array.iteri
+          (fun x _ -> Traffic.add traffic ~src:bi.(x) ~dst:sender (multi_bytes (kp1 * l)))
+          bundles;
+        let c2_of (_, c2s) y t = List.nth c2s ((y * l) + t) in
+        let finish_shared_sums c1_combined c2_combined =
+          (* j adjusts the single combined ephemeral and hands each member
+             its L summed ciphertexts. *)
+          Traffic.add traffic ~src:sender ~dst:receiver (multi_bytes (kp1 * l));
+          if killed inject then (zero_shares (), Killed, None)
+          else begin
+            let c1_adjusted = Group.pow grp c1_combined r in
+            let sums =
+              Array.init kp1 (fun y ->
+                  Traffic.add traffic ~src:receiver ~dst:bj.(y) (multi_bytes l);
+                  Array.init l (fun t ->
+                      let c = { Exp_elgamal.c1 = c1_adjusted; c2 = c2_combined.(y).(t) } in
+                      dec ~member:y ~bit:t c))
+            in
+            let new_shares =
+              Array.map (fun row -> Bitvec.init l (fun t -> parity row.(t))) sums
+            in
+            (new_shares, Decrypted (List.rev !missed), Some sums)
+          end
+        in
+        let strawman2 () =
           (* i forwards every bundle unchanged; j adjusts all ephemerals;
              each recipient decrypts k+1 subshares and XORs them. *)
           Traffic.add traffic ~src:sender ~dst:receiver (kp1 * multi_bytes (kp1 * l));
-          let new_shares =
+          if killed inject then (zero_shares (), Killed, None)
+          else begin
+            let new_shares =
+              Array.init kp1 (fun y ->
+                  Traffic.add traffic ~src:receiver ~dst:bj.(y) (kp1 * multi_bytes l);
+                  let received =
+                    Array.mapi
+                      (fun x (c1, _) ->
+                        let c1 = Group.pow grp c1 r in
+                        Bitvec.init l (fun t ->
+                            let c = { Exp_elgamal.c1; c2 = c2_of bundles.(x) y t } in
+                            dec ~member:y ~bit:t c = 1))
+                      bundles
+                  in
+                  Bitvec.xor_all (Array.to_list received))
+            in
+            (new_shares, Decrypted (List.rev !missed), None)
+          end
+        in
+        let combined () =
+          (* i homomorphically sums the per-bit ciphertexts across the k+1
+             senders; the shared ephemerals multiply into a single one. *)
+          let c1_senders =
+            Array.fold_left (fun acc (c1, _) -> Group.mul grp acc c1) Dstress_bignum.Nat.one
+              bundles
+          in
+          let combined_c2 =
             Array.init kp1 (fun y ->
-                Traffic.add traffic ~src:receiver ~dst:bj.(y) (kp1 * multi_bytes l);
-                let received =
+                Array.init l (fun t ->
+                    Array.fold_left
+                      (fun acc bundle -> Group.mul grp acc (c2_of bundle y t))
+                      Dstress_bignum.Nat.one bundles))
+          in
+          (c1_senders, combined_c2)
+        in
+        (match variant with
+        | Strawman2 -> strawman2 ()
+        | Strawman3 ->
+            let c1, c2 = combined () in
+            finish_shared_sums c1 c2
+        | Final ->
+            let c1_senders, combined_c2 = combined () in
+            (* i additionally encrypts an even geometric noise term for
+               every (recipient, bit) under one more shared ephemeral and
+               multiplies it in. *)
+            let noise_values =
+              Array.init kp1 (fun _ ->
+                  Array.init l (fun _ ->
+                      Mechanism.transfer_noise noise ~alpha:params.alpha ~delta:kp1))
+            in
+            let noise_recipients =
+              List.concat
+                (List.init kp1 (fun y ->
+                     List.init l (fun t ->
+                         (cert.Setup.member_keys.(y).(t), noise_values.(y).(t)))))
+            in
+            let noise_c1, noise_c2s = Exp_elgamal.encrypt_multi prg grp noise_recipients in
+            let c1_combined = Group.mul grp c1_senders noise_c1 in
+            let noised_c2 =
+              Array.mapi
+                (fun y row ->
                   Array.mapi
-                    (fun x (c1, _) ->
-                      let c1 = Group.pow grp c1 r in
-                      Bitvec.init l (fun t ->
-                          let c = { Exp_elgamal.c1; c2 = c2_of bundles.(x) y t } in
-                          decrypt_value grp params.table (secret_of y t) failures c = 1))
-                    bundles
-                in
-                Bitvec.xor_all (Array.to_list received))
-          in
-          { shares = new_shares; failures = !failures; sums = None }
-      in
-      let combined () =
-        (* i homomorphically sums the per-bit ciphertexts across the k+1
-           senders; the shared ephemerals multiply into a single one. *)
-        let c1_senders =
-          Array.fold_left (fun acc (c1, _) -> Group.mul grp acc c1) Dstress_bignum.Nat.one
-            bundles
-        in
-        let combined_c2 =
-          Array.init kp1 (fun y ->
-              Array.init l (fun t ->
-                  Array.fold_left
-                    (fun acc bundle -> Group.mul grp acc (c2_of bundle y t))
-                    Dstress_bignum.Nat.one bundles))
-        in
-        (c1_senders, combined_c2)
-      in
-      (match variant with
-      | Strawman2 -> strawman2 ()
-      | Strawman3 ->
-          let c1, c2 = combined () in
-          finish_shared_sums c1 c2
+                    (fun t c2 -> Group.mul grp c2 (List.nth noise_c2s ((y * l) + t)))
+                    row)
+                combined_c2
+            in
+            finish_shared_sums c1_combined noised_c2
+        | Strawman1 -> assert false)
+  in
+  (* Recovery driver: retry with fresh randomness while decryptions miss
+     the table (or the attempt was lost in flight); the last attempt may
+     escalate to a widened lookup table. Every retry that re-releases
+     decrypted sums is charged to the edge-privacy budget. *)
+  let has_escalation = recovery.escalation_table <> None in
+  let max_attempts = 1 + recovery.max_retries + if has_escalation then 1 else 0 in
+  let all_missing =
+    List.concat (List.init kp1 (fun member -> List.init l (fun bit -> { member; bit })))
+  in
+  let finalize ~retries ~revealed ~failures result =
+    let extra_epsilon =
+      match variant with
       | Final ->
-          let c1_senders, combined_c2 = combined () in
-          (* i additionally encrypts an even geometric noise term for
-             every (recipient, bit) under one more shared ephemeral and
-             multiplies it in. *)
-          let noise_values =
-            Array.init kp1 (fun _ ->
-                Array.init l (fun _ ->
-                    Mechanism.transfer_noise noise ~alpha:params.alpha ~delta:kp1))
-          in
-          let noise_recipients =
-            List.concat
-              (List.init kp1 (fun y ->
-                   List.init l (fun t -> (cert.Setup.member_keys.(y).(t), noise_values.(y).(t)))))
-          in
-          let noise_c1, noise_c2s = Exp_elgamal.encrypt_multi prg grp noise_recipients in
-          let c1_combined = Group.mul grp c1_senders noise_c1 in
-          let noised_c2 =
-            Array.mapi
-              (fun y row ->
-                Array.mapi
-                  (fun t c2 -> Group.mul grp c2 (List.nth noise_c2s ((y * l) + t)))
-                  row)
-              combined_c2
-          in
-          finish_shared_sums c1_combined noised_c2
-      | Strawman1 -> assert false)
+          Edge_privacy.retry_epsilon ~alpha:params.alpha ~k:setup.Setup.k ~bits:l
+            ~retries:(max 0 (revealed - 1))
+      | Strawman1 | Strawman2 | Strawman3 -> 0.0
+    in
+    match result with
+    | Killed ->
+        (* The message never arrived: the receiver's block keeps no-op
+           (all-zero) shares and every position is flagged unrecovered. *)
+        {
+          shares = zero_shares ();
+          failures;
+          misses = all_missing;
+          retries;
+          recovered = failures;
+          unrecovered = kp1 * l;
+          extra_epsilon;
+          sums = None;
+        }
+    | Decrypted (new_shares, misses, sums) ->
+        let unrecovered = List.length misses in
+        {
+          shares = new_shares;
+          failures;
+          misses;
+          retries;
+          recovered = failures - unrecovered;
+          unrecovered;
+          extra_epsilon;
+          sums;
+        }
+  in
+  let rec go attempt_idx ~failures ~revealed =
+    let inject = if attempt_idx = 0 then inject else None in
+    let table =
+      if attempt_idx > recovery.max_retries then
+        match recovery.escalation_table with
+        | Some t -> Lazy.force t
+        | None -> params.table
+      else params.table
+    in
+    let new_shares, status, sums = attempt ~table ~inject in
+    match status with
+    | Killed ->
+        if attempt_idx + 1 < max_attempts then go (attempt_idx + 1) ~failures ~revealed
+        else finalize ~retries:attempt_idx ~revealed ~failures Killed
+    | Decrypted misses ->
+        let failures = failures + List.length misses in
+        let revealed = revealed + 1 in
+        if misses = [] || attempt_idx + 1 >= max_attempts then
+          finalize ~retries:attempt_idx ~revealed ~failures
+            (Decrypted (new_shares, misses, sums))
+        else go (attempt_idx + 1) ~failures ~revealed
+  in
+  go 0 ~failures:0 ~revealed:0
