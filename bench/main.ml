@@ -25,6 +25,7 @@ let experiments : (string * string * (quick:bool -> unit -> unit)) list =
     ("ablation-buckets", "§3.7: degree bucketing ablation", Ablation.degree_bucketing);
     ("2pc-comparison", "§6: garbled circuits vs GMW", Ablation.twopc);
     ("fault-sweep", "§3.8: recovery cost vs injected fault rate", Fault_bench.run);
+    ("executor", "runtime: sequential vs domain-pool executor", Executor_bench.run);
   ]
 
 let () =

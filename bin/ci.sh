@@ -1,6 +1,7 @@
 #!/bin/sh
 # CI driver: everything must build (including benches and examples) and
-# every test suite must pass. Run from anywhere inside the repo.
+# every test suite must pass — under both runtime executors. Run from
+# anywhere inside the repo.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -11,7 +12,15 @@ dune build @check
 echo "== dune build =="
 dune build
 
-echo "== dune runtest =="
-dune runtest
+echo "== dune runtest (sequential executor) =="
+DSTRESS_JOBS=1 dune runtest
+
+# DSTRESS_JOBS switches every Engine.default_config to the domain-pool
+# executor; --force re-runs suites the sequential pass already cached.
+echo "== dune runtest (parallel executor, 4 domains) =="
+DSTRESS_JOBS=4 dune runtest --force
+
+echo "== bench smoke (fig3-left + executor, quick) =="
+dune exec bench/main.exe -- --quick fig3-left executor
 
 echo "CI OK"

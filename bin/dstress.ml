@@ -90,6 +90,18 @@ let backoff_arg =
     & info [ "backoff" ] ~docv:"SECONDS"
         ~doc:"Base simulated retry backoff; doubles on every retry.")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"INT"
+        ~doc:
+          "Worker domains for the block/edge task batches. 1 runs sequentially; \
+           results are identical for every value.")
+
+let executor_of_jobs jobs =
+  if jobs < 1 then invalid_arg "dstress: --jobs must be >= 1"
+  else Dstress_runtime.Executor.parallel ~jobs
+
 (* Fault plans are drawn against the concrete graph, so this runs after
    graph construction, just before the engine starts. *)
 let faulty_config cfg ~graph ~iterations ~seed ~fault_rate ~fault_crashes ~max_retries
@@ -126,7 +138,7 @@ let make_network ~seed ~core ~periphery ~shock =
   (Banking.shock_en prng inst topo shock, topo)
 
 let stress model seed grpname k core periphery iterations epsilon shock reference_only
-    fault_rate fault_crashes max_retries backoff =
+    fault_rate fault_crashes max_retries backoff jobs =
   let grp = Group.by_name grpname in
   let inst, _ = make_network ~seed ~core ~periphery ~shock in
   match model with
@@ -142,7 +154,8 @@ let stress model seed grpname k core periphery iterations epsilon shock referenc
         let states = En_program.encode_instance inst ~graph ~l ~degree ~scale in
         let cfg =
           faulty_config
-            (Engine.default_config grp ~k ~degree_bound:degree ~seed:(string_of_int seed))
+            { (Engine.default_config grp ~k ~degree_bound:degree ~seed:(string_of_int seed)) with
+              Engine.executor = executor_of_jobs jobs }
             ~graph ~iterations ~seed ~fault_rate ~fault_crashes ~max_retries ~backoff
         in
         let report = Engine.run cfg p ~graph ~initial_states:states in
@@ -170,7 +183,8 @@ let stress model seed grpname k core periphery iterations epsilon shock referenc
         let states = Egj_program.encode_instance inst ~graph ~l ~frac ~degree ~scale in
         let cfg =
           faulty_config
-            (Engine.default_config grp ~k ~degree_bound:degree ~seed:(string_of_int seed))
+            { (Engine.default_config grp ~k ~degree_bound:degree ~seed:(string_of_int seed)) with
+              Engine.executor = executor_of_jobs jobs }
             ~graph ~iterations ~seed ~fault_rate ~fault_crashes ~max_retries ~backoff
         in
         let report = Engine.run cfg p ~graph ~initial_states:states in
@@ -192,7 +206,7 @@ let stress_cmd =
     Term.(
       const stress $ model_arg $ seed_arg $ group_arg $ k_arg $ core_arg $ periphery_arg
       $ iterations_arg $ epsilon_arg $ shock_arg $ reference_only_arg $ fault_rate_arg
-      $ fault_crashes_arg $ max_retries_arg $ backoff_arg)
+      $ fault_crashes_arg $ max_retries_arg $ backoff_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* project command                                                     *)

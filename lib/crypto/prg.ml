@@ -47,6 +47,14 @@ let bits t n =
 
 let bool t = next_byte t land 1 = 1
 
+let seed64 s =
+  let d = Sha256.digest (Bytes.of_string s) in
+  let acc = ref 0L in
+  for i = 0 to 7 do
+    acc := Int64.logor !acc (Int64.shift_left (Int64.of_int (Char.code (Bytes.get d i))) (8 * i))
+  done;
+  !acc
+
 let nat_below t bound =
   if Nat.is_zero bound then invalid_arg "Prg.nat_below: zero bound";
   let nbits = Nat.num_bits bound in

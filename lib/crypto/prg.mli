@@ -25,5 +25,11 @@ val bits : t -> int -> Dstress_util.Bitvec.t
 
 val bool : t -> bool
 
+val seed64 : string -> int64
+(** [seed64 s] is the first 8 bytes (little-endian) of [SHA-256(s)] — a
+    collision-resistant way to key a {!Dstress_util.Prng} from a string.
+    Unlike [Hashtbl.hash] (which folds to ~30 bits and collides easily),
+    distinct labels give independent 64-bit seeds. *)
+
 val nat_below : t -> Dstress_bignum.Nat.t -> Dstress_bignum.Nat.t
 (** Uniform natural below a positive bound, by rejection sampling. *)

@@ -1,8 +1,12 @@
-type t = { n : int; bytes : int array (* row-major [src * n + dst] *) }
+type t = {
+  n : int;
+  bytes : int array; (* row-major [src * n + dst] *)
+  external_in : int array; (* bytes sent to each party from outside the party set *)
+}
 
 let create n =
   if n < 1 then invalid_arg "Traffic.create: n < 1";
-  { n; bytes = Array.make (n * n) 0 }
+  { n; bytes = Array.make (n * n) 0; external_in = Array.make n 0 }
 
 let parties t = t.n
 
@@ -13,6 +17,17 @@ let add t ~src ~dst amount =
   let i = (src * t.n) + dst in
   t.bytes.(i) <- t.bytes.(i) + amount
 
+let add_external t ~dst amount =
+  if dst < 0 || dst >= t.n then invalid_arg "Traffic.add_external: party out of range";
+  if amount < 0 then invalid_arg "Traffic.add_external: negative bytes";
+  t.external_in.(dst) <- t.external_in.(dst) + amount
+
+let external_to t p =
+  if p < 0 || p >= t.n then invalid_arg "Traffic.external_to: party out of range";
+  t.external_in.(p)
+
+let external_total t = Array.fold_left ( + ) 0 t.external_in
+
 let sent_by t p =
   let acc = ref 0 in
   for dst = 0 to t.n - 1 do
@@ -21,7 +36,7 @@ let sent_by t p =
   !acc
 
 let received_by t p =
-  let acc = ref 0 in
+  let acc = ref t.external_in.(p) in
   for src = 0 to t.n - 1 do
     acc := !acc + t.bytes.((src * t.n) + p)
   done;
@@ -29,7 +44,7 @@ let received_by t p =
 
 let by_node t p = sent_by t p + received_by t p
 
-let total t = Array.fold_left ( + ) 0 t.bytes
+let total t = Array.fold_left ( + ) 0 t.bytes + external_total t
 
 let max_per_node t =
   let best = ref 0 in
@@ -47,9 +62,12 @@ let mean_per_node t =
 
 let merge_into ~dst src =
   if dst.n <> src.n then invalid_arg "Traffic.merge_into: size mismatch";
-  Array.iteri (fun i v -> dst.bytes.(i) <- dst.bytes.(i) + v) src.bytes
+  Array.iteri (fun i v -> dst.bytes.(i) <- dst.bytes.(i) + v) src.bytes;
+  Array.iteri (fun i v -> dst.external_in.(i) <- dst.external_in.(i) + v) src.external_in
 
-let clear t = Array.fill t.bytes 0 (Array.length t.bytes) 0
+let clear t =
+  Array.fill t.bytes 0 (Array.length t.bytes) 0;
+  Array.fill t.external_in 0 t.n 0
 
 let iter_nonzero t f =
   Array.iteri

@@ -15,8 +15,22 @@ val parties : t -> int
 val add : t -> src:int -> dst:int -> int -> unit
 (** Raises [Invalid_argument] on out-of-range parties or negative bytes. *)
 
+val add_external : t -> dst:int -> int -> unit
+(** Bytes delivered to [dst] by a sender {e outside} the party set — the
+    trusted party's one-time setup download, in DStress. These live on a
+    dedicated row (not as a [dst -> dst] self-loop, which would double-count
+    in {!by_node}): they appear in {!received_by}, {!by_node} and {!total}
+    but never in {!sent_by} or {!iter_nonzero}. Raises [Invalid_argument]
+    on an out-of-range party or negative bytes. *)
+
+val external_to : t -> int -> int
+(** External bytes recorded for one party by {!add_external}. *)
+
+val external_total : t -> int
+
 val sent_by : t -> int -> int
 val received_by : t -> int -> int
+(** Includes the party's {!add_external} bytes. *)
 
 val by_node : t -> int -> int
 (** Sent plus received. *)
@@ -34,6 +48,8 @@ val clear : t -> unit
 (** Zeroes every entry. *)
 
 val iter_nonzero : t -> (src:int -> dst:int -> int -> unit) -> unit
-(** Visit every nonzero directed entry. *)
+(** Visit every nonzero directed entry of the party-to-party matrix.
+    External bytes ({!add_external}) are not visited — read them with
+    {!external_to}. *)
 
 val pp : Format.formatter -> t -> unit

@@ -1,5 +1,4 @@
 module Bitvec = Dstress_util.Bitvec
-module Prng = Dstress_util.Prng
 module Prg = Dstress_crypto.Prg
 module Group = Dstress_crypto.Group
 module Exp_elgamal = Dstress_crypto.Exp_elgamal
@@ -27,6 +26,7 @@ type config = {
   fault_plan : Fault.plan;
   max_retries : int;
   backoff : float;
+  executor : Executor.t;
 }
 
 (* How much wider the escalation lookup table is than the regular one:
@@ -47,6 +47,7 @@ let default_config ?(seed = "dstress") grp ~k ~degree_bound =
     fault_plan = Fault.empty;
     max_retries = 2;
     backoff = 0.05;
+    executor = Executor.of_env ();
   }
 
 let validate_config cfg =
@@ -60,18 +61,16 @@ let validate_config cfg =
       invalid_arg "Engine.run: Two_level aggregation fan-out must be >= 1"
   | Two_level _ | Single_block -> ());
   if cfg.max_retries < 0 then invalid_arg "Engine.run: max_retries must be >= 0";
-  if cfg.backoff < 0.0 then invalid_arg "Engine.run: backoff must be >= 0"
+  if cfg.backoff < 0.0 then invalid_arg "Engine.run: backoff must be >= 0";
+  match cfg.executor with
+  | Executor.Parallel { jobs } when jobs < 1 ->
+      invalid_arg "Engine.run: executor jobs must be >= 1"
+  | Executor.Parallel _ | Executor.Sequential -> ()
 
-type phase = Setup | Initialization | Computation | Communication | Aggregation
+type phase = Phase.id = Setup | Initialization | Computation | Communication | Aggregation
 
-let phase_name = function
-  | Setup -> "setup"
-  | Initialization -> "initialization"
-  | Computation -> "computation"
-  | Communication -> "communication"
-  | Aggregation -> "aggregation"
-
-let all_phases = [ Setup; Initialization; Computation; Communication; Aggregation ]
+let phase_name = Phase.name
+let all_phases = Phase.all
 
 type report = {
   output : int;
@@ -93,71 +92,17 @@ type report = {
   update_stats : Circuit.stats;
 }
 
-(* Accumulates wall-clock seconds, wire bytes, and simulated recovery
-   delay (backoff, retransmissions) per phase. *)
-type accounting = {
-  global : Traffic.t;
-  seconds : (phase, float ref) Hashtbl.t;
-  bytes : (phase, int ref) Hashtbl.t;
-  recovery : (phase, float ref) Hashtbl.t;
-}
-
-let make_accounting n =
-  let seconds = Hashtbl.create 8
-  and bytes = Hashtbl.create 8
-  and recovery = Hashtbl.create 8 in
-  List.iter
-    (fun p ->
-      Hashtbl.replace seconds p (ref 0.0);
-      Hashtbl.replace bytes p (ref 0);
-      Hashtbl.replace recovery p (ref 0.0))
-    all_phases;
-  { global = Traffic.create n; seconds; bytes; recovery }
-
-let in_phase acc phase f =
-  let t0 = Unix.gettimeofday () in
-  let b0 = Traffic.total acc.global in
-  let result = f () in
-  let sec = Hashtbl.find acc.seconds phase and byt = Hashtbl.find acc.bytes phase in
-  sec := !sec +. (Unix.gettimeofday () -. t0);
-  byt := !byt + (Traffic.total acc.global - b0);
-  result
-
-let add_recovery_seconds acc phase s =
-  let r = Hashtbl.find acc.recovery phase in
-  r := !r +. s
-
 (* Total simulated wait for [retries] exponential-backoff retransmissions
    starting at [backoff] seconds: backoff * (2^retries - 1). *)
 let backoff_seconds ~backoff ~retries =
   if retries <= 0 then 0.0 else backoff *. ((2.0 ** float_of_int retries) -. 1.0)
 
-(* Fold a block-local GMW traffic matrix into the global one. *)
-let merge_block_traffic acc session members =
+(* Fold a block-local GMW traffic matrix (member indices) into a run-wide
+   matrix (global node ids) and reset it. *)
+let merge_session_traffic traffic session members =
   Traffic.iter_nonzero (Gmw.traffic session) (fun ~src ~dst v ->
-      Traffic.add acc.global ~src:members.(src) ~dst:members.(dst) v);
+      Traffic.add traffic ~src:members.(src) ~dst:members.(dst) v);
   Gmw.reset_traffic session
-
-(* Re-share values held as XOR shares in source blocks into a destination
-   block: each source member subshares its share and sends one piece to
-   each destination member, who XORs everything received (§3.6). Returns
-   the destination members' shares, one Bitvec per member per value. *)
-let reshare acc prg ~kp1 ~ebytes ~src_blocks ~dst_members values =
-  let payload_bytes bits = ((bits + 7) / 8) + ebytes in
-  List.map2
-    (fun src_block (shares : Bitvec.t array) ->
-      let bits = Bitvec.length shares.(0) in
-      let pieces = Array.map (fun s -> Sharing.subshare prg ~parties:kp1 s) shares in
-      Array.iteri
-        (fun x _ ->
-          Array.iter
-            (fun y_node ->
-              Traffic.add acc.global ~src:src_block.(x) ~dst:y_node (payload_bytes bits))
-            dst_members)
-        pieces;
-      Array.init kp1 (fun y ->
-          Bitvec.xor_all (Array.to_list (Array.map (fun p -> p.(y)) pieces))))
-    src_blocks values
 
 (* Input shares for the noise section of a noised circuit: every member
    contributes uniform bits; the XOR (the cleartext nobody knows) is
@@ -178,160 +123,164 @@ let run cfg p ~graph ~initial_states =
     (fun s -> if Bitvec.length s <> sb then invalid_arg "Engine.run: bad state width")
     initial_states;
   if Graph.max_degree graph > d then invalid_arg "Engine.run: vertex degree exceeds bound";
-  let prg = Prg.of_string ("engine:" ^ cfg.seed) in
-  let noise_prng = Prng.create (Int64.of_int (Hashtbl.hash ("noise:" ^ cfg.seed))) in
-  let acc = make_accounting n in
+  let exec = cfg.executor and seed = cfg.seed in
+  let acc = Phase.Accounting.create ~parties:n in
+  let global = Phase.Accounting.traffic acc in
   let ebytes = Group.element_bytes cfg.grp in
   let injector = Fault.Injector.create cfg.fault_plan in
   (* --- Setup --------------------------------------------------- *)
   let setup =
-    in_phase acc Setup (fun () ->
-        let s = Setup.run prg cfg.grp ~n ~k:cfg.k ~degree_bound:d ~bits:l in
-        (* The one-time setup exchange is charged to the TP<->node links;
-           spread uniformly for per-node reporting. *)
+    Phase.run_sequential acc Setup (fun () ->
+        let s =
+          Setup.run (Prg.of_string ("engine:" ^ seed)) cfg.grp ~n ~k:cfg.k ~degree_bound:d
+            ~bits:l
+        in
+        (* The one-time setup download is TP->node traffic: charged on the
+           dedicated external row, spread uniformly for per-node reporting. *)
         let per_node = Setup.setup_traffic_bytes s / n in
         for i = 0 to n - 1 do
-          Traffic.add acc.global ~src:i ~dst:i per_node
+          Traffic.add_external global ~dst:i per_node
         done;
         s)
   in
   let table =
     Exp_elgamal.Table.make cfg.grp ~lo:(-cfg.table_radius) ~hi:(kp1 + cfg.table_radius)
   in
-  let escalation_table =
-    lazy
-      (let radius = escalation_widening * cfg.table_radius in
-       Exp_elgamal.Table.make cfg.grp ~lo:(-radius) ~hi:(kp1 + radius))
+  (* The widened escalation table is built at most once, under a mutex
+     (parallel communication tasks may race to need it first); every task
+     gets its own lazy cell so no Lazy.t is ever forced from two domains. *)
+  let escalation = ref None in
+  let escalation_mutex = Mutex.create () in
+  let escalation_table () =
+    Mutex.protect escalation_mutex (fun () ->
+        match !escalation with
+        | Some t -> t
+        | None ->
+            let radius = escalation_widening * cfg.table_radius in
+            let t = Exp_elgamal.Table.make cfg.grp ~lo:(-radius) ~hi:(kp1 + radius) in
+            escalation := Some t;
+            t)
   in
-  let recovery =
-    { Protocol.max_retries = cfg.max_retries; escalation_table = Some escalation_table }
+  let recovery () =
+    { Protocol.max_retries = cfg.max_retries;
+      escalation_table = Some (lazy (escalation_table ())) }
   in
   let params = { Protocol.alpha = cfg.transfer_alpha; table } in
   let update_c = Vertex_program.update_circuit p ~degree:d in
-  let sessions =
+  let blocks =
     Array.init n (fun i ->
-        Gmw.create_session ~mode:cfg.ot_mode cfg.grp ~parties:kp1
-          ~seed:(Printf.sprintf "%s:block:%d" cfg.seed i))
+        Block.create ~ot_mode:cfg.ot_mode ~grp:cfg.grp ~seed ~kp1 ~degree:d ~state_bits:sb
+          ~message_bits:l ~vertex:i ~members:(Setup.block_of setup i))
   in
-  let zero_msg_shares () = Array.init kp1 (fun _ -> Bitvec.create l false) in
   (* --- Initialization ------------------------------------------ *)
-  let state_shares =
-    in_phase acc Initialization (fun () ->
-        Array.init n (fun i ->
-            let shares = Sharing.share prg ~parties:kp1 initial_states.(i) in
-            (* Node i distributes state and D no-op message shares to the
-               other members of its block. *)
-            let block = Setup.block_of setup i in
-            let bytes = ((sb + (d * l) + 7) / 8) + ebytes in
-            Array.iter
-              (fun member -> if member <> i then Traffic.add acc.global ~src:i ~dst:member bytes)
-              block;
-            shares))
-  in
-  let msg_in = Array.init n (fun _ -> Array.init d (fun _ -> zero_msg_shares ())) in
-  let out_msgs = Array.init n (fun _ -> Array.init d (fun _ -> zero_msg_shares ())) in
-  let failures = ref 0 in
-  let recovered = ref 0 in
-  let unrecovered = ref 0 in
-  let retries = ref 0 in
-  let crash_recoveries = ref 0 in
-  let retry_epsilon = ref 0.0 in
-  (* --- Crash recovery ------------------------------------------- *)
-  (* A crashed block member is fail-stop: the engine detects it by timeout
-     and a standby replacement takes over its slot. The surviving members
-     re-share every value the block holds for vertex i (state + inbox), so
-     the replacement starts from fresh shares and the XOR invariant is
-     preserved; the handoff is charged as re-sharing traffic plus one
-     backoff period. *)
-  let recover_crashes ~round i members =
-    Array.iter
-      (fun m ->
-        if Fault.Injector.crash_starting injector ~round ~node:m then begin
-          let values = state_shares.(i) :: Array.to_list msg_in.(i) in
-          let src_blocks = List.map (fun _ -> members) values in
-          let reshared =
-            reshare acc prg ~kp1 ~ebytes ~src_blocks ~dst_members:members values
-          in
-          (match reshared with
-          | st :: msgs ->
-              state_shares.(i) <- st;
-              List.iteri (fun s v -> msg_in.(i).(s) <- v) msgs
-          | [] -> assert false);
-          incr crash_recoveries;
-          add_recovery_seconds acc Computation cfg.backoff
-        end)
-      members
-  in
+  Phase.run_tasks exec acc Initialization ~count:n
+    ~task:(fun i ->
+      let traffic = Traffic.create n in
+      let b = blocks.(i) in
+      let prg = Block.derive_prg ~seed (Printf.sprintf "init:%d" i) in
+      b.Block.state <- Sharing.share prg ~parties:kp1 initial_states.(i);
+      (* Node i distributes state and D no-op message shares to the other
+         members of its block. *)
+      let bytes = ((sb + (d * l) + 7) / 8) + ebytes in
+      Array.iter
+        (fun member -> if member <> i then Traffic.add traffic ~src:i ~dst:member bytes)
+        b.Block.members;
+      { Phase.traffic; payload = () })
+    ~merge:(fun _ () -> ());
+  let failures = ref 0 and recovered = ref 0 and unrecovered = ref 0 in
+  let retries = ref 0 and crash_recoveries = ref 0 and retry_epsilon = ref 0.0 in
   (* --- Computation step ----------------------------------------- *)
+  (* Crash recovery (§3.6): a crashed member is fail-stop; a standby takes
+     over its slot and the surviving members re-share every value the
+     block holds, so the XOR invariant is preserved. Fault queries hit the
+     stateful injector in a sequential prologue (deterministic fired-fault
+     book-keeping); the re-sharing runs inside the block's task with an
+     event-keyed PRG and is charged as re-sharing traffic plus one backoff
+     period. *)
   let compute ~round () =
-    in_phase acc Computation (fun () ->
-        for i = 0 to n - 1 do
-          let members = Setup.block_of setup i in
-          recover_crashes ~round i members;
-          let input_shares =
-            Array.init kp1 (fun m ->
-                Bitvec.concat
-                  (state_shares.(i).(m)
-                  :: List.init d (fun s -> msg_in.(i).(s).(m))))
-          in
-          let out = Gmw.eval sessions.(i) update_c ~input_shares in
-          Array.iteri
-            (fun m vec ->
-              state_shares.(i).(m) <- Bitvec.sub vec ~pos:0 ~len:sb;
-              for s = 0 to d - 1 do
-                out_msgs.(i).(s).(m) <- Bitvec.sub vec ~pos:(sb + (s * l)) ~len:l
-              done)
-            out;
-          merge_block_traffic acc sessions.(i) members
-        done)
+    let crashed =
+      Array.init n (fun i ->
+          Array.to_list blocks.(i).Block.members
+          |> List.filter (fun m -> Fault.Injector.crash_starting injector ~round ~node:m))
+    in
+    Phase.run_tasks exec acc Computation ~count:n
+      ~task:(fun i ->
+        let traffic = Traffic.create n in
+        let b = blocks.(i) in
+        List.iter
+          (fun m ->
+            let prg =
+              Block.derive_prg ~seed (Printf.sprintf "reshare:%d:%d:%d" round i m)
+            in
+            let values = b.Block.state :: Array.to_list b.Block.inbox in
+            let src_blocks = List.map (fun _ -> b.Block.members) values in
+            match
+              Block.reshare ~prg ~kp1 ~ebytes ~traffic ~src_blocks
+                ~dst_members:b.Block.members values
+            with
+            | st :: msgs ->
+                b.Block.state <- st;
+                List.iteri (fun s v -> b.Block.inbox.(s) <- v) msgs
+            | [] -> assert false)
+          crashed.(i);
+        let out = Gmw.eval b.Block.session update_c ~input_shares:(Block.gather_inputs b) in
+        Block.scatter_outputs b out;
+        merge_session_traffic traffic b.Block.session b.Block.members;
+        { Phase.traffic; payload = List.length crashed.(i) })
+      ~merge:(fun _ events ->
+        crash_recoveries := !crash_recoveries + events;
+        Phase.Accounting.add_recovery acc Computation (float_of_int events *. cfg.backoff))
   in
   (* --- Communication step ---------------------------------------- *)
+  let edges = Array.of_list (Graph.edges graph) in
   let communicate ~round () =
-    in_phase acc Communication (fun () ->
-        (* Reset all inboxes to no-op shares; real messages overwrite. *)
-        for i = 0 to n - 1 do
-          for s = 0 to d - 1 do
-            msg_in.(i).(s) <- zero_msg_shares ()
-          done
-        done;
-        List.iter
-          (fun (i, j) ->
-            let slot_out = Graph.out_slot graph ~src:i ~dst:j in
-            let shares = Array.copy out_msgs.(i).(slot_out) in
-            let nslot = Graph.neighbor_slot graph ~owner:j ~other:i in
-            let faults = Fault.Injector.edge_faults injector ~round ~src:i ~dst:j in
-            List.iter
-              (function
-                | Fault.Delay_transfer { seconds; _ } ->
-                    add_recovery_seconds acc Communication seconds
-                | _ -> ())
-              faults;
-            let has k = List.exists (fun f -> Fault.kind_of f = k) faults in
-            let inject =
-              if has Fault.Drop then Some Protocol.Drop_attempt
-              else if has Fault.Corrupt then Some Protocol.Corrupt_attempt
-              else if has Fault.Decrypt_miss then
-                (* Deterministic position derived from the edge and round,
-                   so replays force the same miss. *)
-                Some
-                  (Protocol.Force_miss
-                     { member = (i + j + round) mod kp1; bit = ((7 * i) + round) mod l })
-              else None
-            in
-            let outcome =
-              Protocol.transfer ~recovery ?inject params ~prg ~noise:noise_prng
-                ~traffic:acc.global ~variant:Protocol.Final ~setup ~sender:i ~receiver:j
-                ~neighbor_slot:nslot ~shares
-            in
-            failures := !failures + outcome.Protocol.failures;
-            recovered := !recovered + outcome.Protocol.recovered;
-            unrecovered := !unrecovered + outcome.Protocol.unrecovered;
-            retries := !retries + outcome.Protocol.retries;
-            retry_epsilon := !retry_epsilon +. outcome.Protocol.extra_epsilon;
-            add_recovery_seconds acc Communication
-              (backoff_seconds ~backoff:cfg.backoff ~retries:outcome.Protocol.retries);
-            msg_in.(j).(Graph.in_slot graph ~src:i ~dst:j) <- outcome.Protocol.shares)
-          (Graph.edges graph))
+    (* Reset all inboxes to no-op shares; real messages overwrite. Edge
+       faults are resolved sequentially (the injector is stateful); each
+       edge task then runs the §3.5 transfer with its own keyed PRG and
+       noise stream and writes the one inbox slot it owns. *)
+    Array.iter Block.clear_inbox blocks;
+    let faults =
+      Array.map (fun (i, j) -> Fault.Injector.edge_faults injector ~round ~src:i ~dst:j) edges
+    in
+    Phase.run_tasks exec acc Communication ~count:(Array.length edges)
+      ~task:(fun e ->
+        let i, j = edges.(e) in
+        let traffic = Traffic.create n in
+        let delay =
+          List.fold_left
+            (fun a -> function Fault.Delay_transfer { seconds; _ } -> a +. seconds | _ -> a)
+            0.0 faults.(e)
+        in
+        let has k = List.exists (fun f -> Fault.kind_of f = k) faults.(e) in
+        let inject =
+          if has Fault.Drop then Some Protocol.Drop_attempt
+          else if has Fault.Corrupt then Some Protocol.Corrupt_attempt
+          else if has Fault.Decrypt_miss then
+            (* Deterministic position derived from the edge and round,
+               so replays force the same miss. *)
+            Some
+              (Protocol.Force_miss
+                 { member = (i + j + round) mod kp1; bit = ((7 * i) + round) mod l })
+          else None
+        in
+        let shares = Array.copy blocks.(i).Block.outbox.(Graph.out_slot graph ~src:i ~dst:j) in
+        let prg = Block.derive_prg ~seed (Printf.sprintf "xfer:%d:%d:%d" round i j) in
+        let noise = Block.derive_prng ~seed (Printf.sprintf "noise:%d:%d:%d" round i j) in
+        let outcome =
+          Protocol.transfer ~recovery:(recovery ()) ?inject params ~prg ~noise ~traffic
+            ~variant:Protocol.Final ~setup ~sender:i ~receiver:j
+            ~neighbor_slot:(Graph.neighbor_slot graph ~owner:j ~other:i) ~shares
+        in
+        blocks.(j).Block.inbox.(Graph.in_slot graph ~src:i ~dst:j) <- outcome.Protocol.shares;
+        { Phase.traffic; payload = (outcome, delay) })
+      ~merge:(fun _ (o, delay) ->
+        failures := !failures + o.Protocol.failures;
+        recovered := !recovered + o.Protocol.recovered;
+        unrecovered := !unrecovered + o.Protocol.unrecovered;
+        retries := !retries + o.Protocol.retries;
+        retry_epsilon := !retry_epsilon +. o.Protocol.extra_epsilon;
+        Phase.Accounting.add_recovery acc Communication
+          (delay +. backoff_seconds ~backoff:cfg.backoff ~retries:o.Protocol.retries))
   in
   for it = 1 to p.Vertex_program.iterations do
     compute ~round:it ();
@@ -344,90 +293,103 @@ let run cfg p ~graph ~initial_states =
   let eval_in_block ~label members circuit input_shares =
     let session =
       Gmw.create_session ~mode:cfg.ot_mode cfg.grp ~parties:kp1
-        ~seed:(Printf.sprintf "%s:agg:%s" cfg.seed label)
+        ~seed:(Printf.sprintf "%s:agg:%s" seed label)
     in
     agg_sessions := session :: !agg_sessions;
     let out = Gmw.eval session circuit ~input_shares in
-    merge_block_traffic acc session members;
+    merge_session_traffic global session members;
     (session, out)
   in
-  let output_bits =
-    in_phase acc Aggregation (fun () ->
-        let concat_inputs per_value_shares extra =
-          (* per_value_shares : Bitvec array list (one array of kp1 shares
-             per value); build per-member concatenation, appending the
-             per-member extra bits. *)
-          Array.init kp1 (fun m ->
-              Bitvec.concat
-                (List.map (fun shares -> (shares : Bitvec.t array).(m)) per_value_shares
-                @ [ extra.(m) ]))
-        in
-        match cfg.aggregation with
-        | Single_block ->
-            let dst_members = setup.Setup.agg_block in
-            let src_blocks = List.init n (fun i -> Setup.block_of setup i) in
-            let values = List.init n (fun i -> state_shares.(i)) in
-            let reshared = reshare acc prg ~kp1 ~ebytes ~src_blocks ~dst_members values in
-            let noise = noise_input_shares prg ~kp1 in
-            let inputs = concat_inputs reshared noise in
-            let circuit = Vertex_program.aggregate_circuit p ~count:n in
-            let session, out = eval_in_block ~label:"root" dst_members circuit inputs in
-            let revealed = Gmw.reveal session out in
-            merge_block_traffic acc session dst_members;
-            revealed
-        | Two_level fanout ->
-            let groups =
-              let rec chunks start =
-                if start >= n then []
-                else begin
-                  let len = min fanout (n - start) in
-                  List.init len (fun o -> start + o) :: chunks (start + len)
-                end
-              in
-              chunks 0
-            in
-            let empty_extra = Array.init kp1 (fun _ -> Bitvec.create 0 false) in
-            let partials =
-              List.mapi
-                (fun gi group ->
-                  let leaf_members = Setup.block_of setup (List.hd group) in
-                  let src_blocks = List.map (Setup.block_of setup) group in
-                  let values = List.map (fun i -> state_shares.(i)) group in
-                  let reshared =
-                    reshare acc prg ~kp1 ~ebytes ~src_blocks ~dst_members:leaf_members values
-                  in
-                  let inputs = concat_inputs reshared empty_extra in
-                  let circuit =
-                    Vertex_program.partial_aggregate_circuit p ~count:(List.length group)
-                  in
-                  let _, out =
-                    eval_in_block ~label:(Printf.sprintf "leaf:%d" gi) leaf_members circuit
-                      inputs
-                  in
-                  (leaf_members, out))
-                groups
-            in
-            let dst_members = setup.Setup.agg_block in
-            let src_blocks = List.map fst partials in
-            let values = List.map snd partials in
-            let reshared = reshare acc prg ~kp1 ~ebytes ~src_blocks ~dst_members values in
-            let noise = noise_input_shares prg ~kp1 in
-            let inputs = concat_inputs reshared noise in
-            let circuit =
-              Vertex_program.combine_circuit p ~count:(List.length partials) ~noised:true
-            in
-            let session, out = eval_in_block ~label:"root" dst_members circuit inputs in
-            let revealed = Gmw.reveal session out in
-            merge_block_traffic acc session dst_members;
-            revealed)
+  let concat_inputs per_value_shares extra =
+    (* per_value_shares : Bitvec array list (one array of kp1 shares per
+       value); build per-member concatenation, appending the per-member
+       extra bits. *)
+    Array.init kp1 (fun m ->
+        Bitvec.concat
+          (List.map (fun shares -> (shares : Bitvec.t array).(m)) per_value_shares
+          @ [ extra.(m) ]))
   in
-  let mpc_sessions = Array.to_list sessions @ !agg_sessions in
+  let combine_at_root ~src_blocks ~values ~circuit =
+    let dst_members = setup.Setup.agg_block in
+    let prg = Block.derive_prg ~seed "agg:reshare:root" in
+    let reshared =
+      Block.reshare ~prg ~kp1 ~ebytes ~traffic:global ~src_blocks ~dst_members values
+    in
+    let noise = noise_input_shares (Block.derive_prg ~seed "agg:noise") ~kp1 in
+    let session, out = eval_in_block ~label:"root" dst_members circuit
+        (concat_inputs reshared noise)
+    in
+    let revealed = Gmw.reveal session out in
+    merge_session_traffic global session dst_members;
+    revealed
+  in
+  let output_bits =
+    match cfg.aggregation with
+    | Single_block ->
+        Phase.run_sequential acc Aggregation (fun () ->
+            combine_at_root
+              ~src_blocks:(List.init n (fun i -> blocks.(i).Block.members))
+              ~values:(List.init n (fun i -> blocks.(i).Block.state))
+              ~circuit:(Vertex_program.aggregate_circuit p ~count:n))
+    | Two_level fanout ->
+        let groups =
+          let rec chunks start =
+            if start >= n then []
+            else begin
+              let len = min fanout (n - start) in
+              List.init len (fun o -> start + o) :: chunks (start + len)
+            end
+          in
+          Array.of_list (chunks 0)
+        in
+        let empty_extra = Array.init kp1 (fun _ -> Bitvec.create 0 false) in
+        let partials = Array.make (Array.length groups) None in
+        (* Leaf groups sum their members' states independently; only the
+           root combine (which adds the noise and opens the result) is a
+           sequential step. *)
+        Phase.run_tasks exec acc Aggregation ~count:(Array.length groups)
+          ~task:(fun gi ->
+            let traffic = Traffic.create n in
+            let group = groups.(gi) in
+            let leaf_members = blocks.(List.hd group).Block.members in
+            let prg = Block.derive_prg ~seed (Printf.sprintf "agg:reshare:leaf:%d" gi) in
+            let reshared =
+              Block.reshare ~prg ~kp1 ~ebytes ~traffic
+                ~src_blocks:(List.map (fun v -> blocks.(v).Block.members) group)
+                ~dst_members:leaf_members
+                (List.map (fun v -> blocks.(v).Block.state) group)
+            in
+            let circuit =
+              Vertex_program.partial_aggregate_circuit p ~count:(List.length group)
+            in
+            let session =
+              Gmw.create_session ~mode:cfg.ot_mode cfg.grp ~parties:kp1
+                ~seed:(Printf.sprintf "%s:agg:leaf:%d" seed gi)
+            in
+            let out = Gmw.eval session circuit ~input_shares:(concat_inputs reshared empty_extra) in
+            merge_session_traffic traffic session leaf_members;
+            { Phase.traffic; payload = (session, leaf_members, out) })
+          ~merge:(fun gi (session, leaf_members, out) ->
+            agg_sessions := session :: !agg_sessions;
+            partials.(gi) <- Some (leaf_members, out));
+        Phase.run_sequential acc Aggregation (fun () ->
+            let parts =
+              Array.to_list
+                (Array.map (function Some v -> v | None -> assert false) partials)
+            in
+            combine_at_root ~src_blocks:(List.map fst parts) ~values:(List.map snd parts)
+              ~circuit:
+                (Vertex_program.combine_circuit p ~count:(List.length parts) ~noised:true))
+  in
+  let mpc_sessions =
+    Array.to_list (Array.map (fun b -> b.Block.session) blocks) @ !agg_sessions
+  in
   {
     output = Bitvec.to_int_signed output_bits;
     iterations = p.Vertex_program.iterations;
-    traffic = acc.global;
-    phase_bytes = List.map (fun ph -> (ph, !(Hashtbl.find acc.bytes ph))) all_phases;
-    phase_seconds = List.map (fun ph -> (ph, !(Hashtbl.find acc.seconds ph))) all_phases;
+    traffic = global;
+    phase_bytes = Phase.Accounting.phase_bytes acc;
+    phase_seconds = Phase.Accounting.phase_seconds acc;
     transfer_failures = !failures;
     recovered_failures = !recovered;
     unrecovered_failures = !unrecovered;
@@ -435,7 +397,7 @@ let run cfg p ~graph ~initial_states =
     crash_recoveries = !crash_recoveries;
     faults_injected = Fault.Injector.injected injector;
     retry_epsilon = !retry_epsilon;
-    recovery_seconds = List.map (fun ph -> (ph, !(Hashtbl.find acc.recovery ph))) all_phases;
+    recovery_seconds = Phase.Accounting.recovery_seconds acc;
     mpc_rounds = List.fold_left (fun a s -> a + Gmw.rounds s) 0 mpc_sessions;
     mpc_and_gates = List.fold_left (fun a s -> a + Gmw.and_gates_evaluated s) 0 mpc_sessions;
     mpc_ots = List.fold_left (fun a s -> a + Gmw.ots_performed s) 0 mpc_sessions;
@@ -517,4 +479,4 @@ let pp_report ppf r =
     r.phase_bytes;
   Format.fprintf ppf "total traffic: %.3f MB (mean %.3f MB/node)@]"
     (mb (Traffic.total r.traffic))
-    (mb (int_of_float (Traffic.mean_per_node r.traffic)))
+    (Traffic.mean_per_node r.traffic /. 1048576.0)

@@ -22,6 +22,16 @@
     wall-clock time is attributed to phases, which is exactly the
     instrumentation the paper's Figures 3–6 report.
 
+    {b Layered runtime.} The engine itself is orchestration glue over
+    three layers: {!Block} owns one vertex's share state, mailboxes and
+    GMW session; {!Phase} expresses each protocol phase as a batch of
+    independent tasks over blocks or edges plus a sequential, index-ordered
+    merge into run-wide accounting; {!Executor} schedules a batch on the
+    calling domain or on an OCaml 5 domain pool. All randomness is derived
+    per task by key ([seed ^ ":" ^ purpose], see {!Block.derive_prg}), so a
+    run's output and its full report are bit-identical under every
+    executor and schedule.
+
     {b Fault injection and recovery.} A {!Dstress_faults.Fault.plan} in the
     config injects deterministic faults into a run: crash a block member
     for a window of rounds, drop/delay/corrupt an edge transfer, or force
@@ -48,11 +58,14 @@ type config = {
   fault_plan : Dstress_faults.Fault.plan;  (** faults to inject (empty = none) *)
   max_retries : int;  (** transfer retries before table escalation *)
   backoff : float;  (** base simulated backoff in seconds (doubles per retry) *)
+  executor : Executor.t;  (** Sequential, or Parallel on a domain pool *)
 }
 
 val default_config : ?seed:string -> Dstress_crypto.Group.t -> k:int -> degree_bound:int -> config
 (** Simulation OT mode, [transfer_alpha = 0.5], table radius 120,
-    single-block aggregation, no faults, 2 retries, 50 ms base backoff. *)
+    single-block aggregation, no faults, 2 retries, 50 ms base backoff.
+    The executor comes from {!Executor.of_env} — sequential unless the
+    [DSTRESS_JOBS] environment variable requests a domain pool. *)
 
 val escalation_widening : int
 (** Factor by which the last-resort decryption table is wider than
@@ -62,11 +75,14 @@ val validate_config : config -> unit
 (** Raises [Invalid_argument] with a descriptive message if any field is
     out of range ([k < 1], [transfer_alpha] outside (0,1), nonpositive
     [table_radius], a [Two_level] fan-out < 1, negative [max_retries] or
-    [backoff]). Called by {!run} before any work starts. *)
+    [backoff], a [Parallel] executor with [jobs < 1]). Called by {!run}
+    before any work starts. *)
 
-type phase = Setup | Initialization | Computation | Communication | Aggregation
+type phase = Phase.id = Setup | Initialization | Computation | Communication | Aggregation
 
 val phase_name : phase -> string
+
+val all_phases : phase list
 
 type report = {
   output : int;  (** the noised aggregate (signed) — the only public value *)

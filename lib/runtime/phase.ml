@@ -1,0 +1,74 @@
+module Traffic = Dstress_mpc.Traffic
+
+type id = Setup | Initialization | Computation | Communication | Aggregation
+
+let name = function
+  | Setup -> "setup"
+  | Initialization -> "initialization"
+  | Computation -> "computation"
+  | Communication -> "communication"
+  | Aggregation -> "aggregation"
+
+let all = [ Setup; Initialization; Computation; Communication; Aggregation ]
+
+module Accounting = struct
+  type t = {
+    global : Traffic.t;
+    seconds : (id, float ref) Hashtbl.t;
+    bytes : (id, int ref) Hashtbl.t;
+    recovery : (id, float ref) Hashtbl.t;
+  }
+
+  let create ~parties =
+    let seconds = Hashtbl.create 8
+    and bytes = Hashtbl.create 8
+    and recovery = Hashtbl.create 8 in
+    List.iter
+      (fun p ->
+        Hashtbl.replace seconds p (ref 0.0);
+        Hashtbl.replace bytes p (ref 0);
+        Hashtbl.replace recovery p (ref 0.0))
+      all;
+    { global = Traffic.create parties; seconds; bytes; recovery }
+
+  let traffic t = t.global
+
+  let add_seconds t phase s =
+    let r = Hashtbl.find t.seconds phase in
+    r := !r +. s
+
+  let add_bytes t phase b =
+    let r = Hashtbl.find t.bytes phase in
+    r := !r + b
+
+  let add_recovery t phase s =
+    let r = Hashtbl.find t.recovery phase in
+    r := !r +. s
+
+  let phase_seconds t = List.map (fun p -> (p, !(Hashtbl.find t.seconds p))) all
+  let phase_bytes t = List.map (fun p -> (p, !(Hashtbl.find t.bytes p))) all
+  let recovery_seconds t = List.map (fun p -> (p, !(Hashtbl.find t.recovery p))) all
+end
+
+let run_sequential acc phase f =
+  let t0 = Unix.gettimeofday () in
+  let b0 = Traffic.total acc.Accounting.global in
+  let result = f () in
+  Accounting.add_seconds acc phase (Unix.gettimeofday () -. t0);
+  Accounting.add_bytes acc phase (Traffic.total acc.Accounting.global - b0);
+  result
+
+type 'a task_result = { traffic : Traffic.t; payload : 'a }
+
+let run_tasks exec acc phase ~count ~task ~merge =
+  let t0 = Unix.gettimeofday () in
+  let results = Executor.map exec count task in
+  let bytes = ref 0 in
+  Array.iteri
+    (fun i r ->
+      bytes := !bytes + Traffic.total r.traffic;
+      Traffic.merge_into ~dst:acc.Accounting.global r.traffic;
+      merge i r.payload)
+    results;
+  Accounting.add_seconds acc phase (Unix.gettimeofday () -. t0);
+  Accounting.add_bytes acc phase !bytes

@@ -1,0 +1,64 @@
+(** Protocol phases as schedulable work units.
+
+    Each engine phase (setup, initialization, computation round,
+    communication round, aggregation) is expressed as a batch of
+    {e independent tasks} — one per block or per edge — plus a
+    {e sequential merge} that folds each task's private traffic matrix and
+    counters into the run-wide accounting in task-index order. The batch
+    runs under any {!Executor} backend; because tasks touch only
+    task-owned state and the merge order is fixed, the run's output and
+    its report are identical under every schedule. *)
+
+type id = Setup | Initialization | Computation | Communication | Aggregation
+
+val name : id -> string
+val all : id list
+
+(** Run-wide accounting: the global traffic matrix plus wall-clock
+    seconds, wire bytes and simulated recovery delay attributed per phase.
+    Multiple batches may charge the same phase (e.g. one computation batch
+    per round); the entries accumulate. *)
+module Accounting : sig
+  type t
+
+  val create : parties:int -> t
+
+  val traffic : t -> Dstress_mpc.Traffic.t
+  (** The global per-node matrix, under global node ids. *)
+
+  val add_recovery : t -> id -> float -> unit
+  (** Add simulated backoff/handoff seconds (kept apart from measured
+      wall-clock). *)
+
+  val phase_seconds : t -> (id * float) list
+  val phase_bytes : t -> (id * int) list
+  val recovery_seconds : t -> (id * float) list
+  (** All three list every phase in {!all} order. *)
+end
+
+val run_sequential : Accounting.t -> id -> (unit -> 'a) -> 'a
+(** [run_sequential acc phase f] runs [f] as the phase's single sequential
+    step on the calling domain. [f] writes the global matrix directly;
+    its wall-clock time and traffic growth are charged to [phase]. *)
+
+type 'a task_result = {
+  traffic : Dstress_mpc.Traffic.t;
+      (** the task's private matrix (global node ids), merged by the
+          framework *)
+  payload : 'a;  (** counters etc., handed to [merge] in index order *)
+}
+
+val run_tasks :
+  Executor.t ->
+  Accounting.t ->
+  id ->
+  count:int ->
+  task:(int -> 'a task_result) ->
+  merge:(int -> 'a -> unit) ->
+  unit
+(** [run_tasks exec acc phase ~count ~task ~merge] executes the batch
+    under [exec], then — sequentially, in increasing task index — merges
+    each task's traffic into the global matrix and calls [merge i
+    payload]. Tasks must not touch the global matrix or any state another
+    task reads. Wall-clock of the whole batch (including the merge) and
+    the merged bytes are charged to [phase]. *)

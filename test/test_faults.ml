@@ -388,6 +388,88 @@ let test_engine_acceptance_n20 () =
     && List.assoc Engine.Computation r.Engine.recovery_seconds > 0.0)
 
 (* ------------------------------------------------------------------ *)
+(* Executor equivalence under faults: a faulty run must produce the     *)
+(* same report under the sequential and the domain-pool backends —      *)
+(* fault resolution happens in sequential prologues and all recovery    *)
+(* randomness is event-keyed, so the schedule cannot change anything.   *)
+(* ------------------------------------------------------------------ *)
+
+module Executor = Dstress_runtime.Executor
+
+let check_same_report label (a : Engine.report) (b : Engine.report) =
+  let phases l = List.map (fun (p, v) -> (Engine.phase_name p, v)) l in
+  Alcotest.(check int) (label ^ ": output") a.Engine.output b.Engine.output;
+  Alcotest.(check (list (pair string int))) (label ^ ": phase bytes")
+    (phases a.Engine.phase_bytes) (phases b.Engine.phase_bytes);
+  Alcotest.(check int) (label ^ ": total traffic")
+    (Traffic.total a.Engine.traffic) (Traffic.total b.Engine.traffic);
+  Alcotest.(check (list int)) (label ^ ": per-node traffic")
+    (List.init (Traffic.parties a.Engine.traffic) (Traffic.by_node a.Engine.traffic))
+    (List.init (Traffic.parties b.Engine.traffic) (Traffic.by_node b.Engine.traffic));
+  Alcotest.(check int) (label ^ ": failures") a.Engine.transfer_failures
+    b.Engine.transfer_failures;
+  Alcotest.(check int) (label ^ ": recovered") a.Engine.recovered_failures
+    b.Engine.recovered_failures;
+  Alcotest.(check int) (label ^ ": unrecovered") a.Engine.unrecovered_failures
+    b.Engine.unrecovered_failures;
+  Alcotest.(check int) (label ^ ": retries") a.Engine.transfer_retries
+    b.Engine.transfer_retries;
+  Alcotest.(check int) (label ^ ": crash recoveries") a.Engine.crash_recoveries
+    b.Engine.crash_recoveries;
+  Alcotest.(check bool) (label ^ ": fault counters") true
+    (a.Engine.faults_injected = b.Engine.faults_injected);
+  Alcotest.(check (float 0.0)) (label ^ ": retry epsilon") a.Engine.retry_epsilon
+    b.Engine.retry_epsilon;
+  let recov l = List.map (fun (p, v) -> (Engine.phase_name p, v)) l in
+  Alcotest.(check (list (pair string (float 0.0)))) (label ^ ": recovery seconds")
+    (recov a.Engine.recovery_seconds) (recov b.Engine.recovery_seconds)
+
+let test_executors_agree_en_faulty () =
+  let graph, d, p, states = en_fixture () in
+  let plan =
+    Fault.random_plan ~seed:11 ~rounds:3 ~nodes:4 ~edges:(Graph.edges graph)
+      { Fault.no_faults with drop = 0.3; corrupt = 0.2; miss = 0.3; delay = 0.2 }
+    @ [ Fault.Crash_node { node = 1; from_round = 2; until_round = 3 } ]
+  in
+  let run executor =
+    let cfg =
+      { (Engine.default_config grp ~k:2 ~degree_bound:d ~seed:"exec-faults") with
+        Engine.fault_plan = plan; executor }
+    in
+    Engine.run cfg p ~graph ~initial_states:states
+  in
+  let seq = run Executor.sequential and par = run (Executor.parallel ~jobs:4) in
+  let fired = List.fold_left (fun a (_, c) -> a + c) 0 seq.Engine.faults_injected in
+  Alcotest.(check bool) "plan actually injected" true (fired > 0);
+  Alcotest.(check bool) "retries exercised" true (seq.Engine.transfer_retries > 0);
+  check_same_report "EN faulty" seq par
+
+let test_executors_agree_egj () =
+  let inst =
+    {
+      Reference.egj_n = 3;
+      base_assets = [| 20.0; 70.0; 60.0 |];
+      orig_val = [| 100.0; 100.0; 90.0 |];
+      threshold = [| 80.0; 80.0; 72.0 |];
+      penalty = [| 10.0; 10.0; 10.0 |];
+      holdings = [ (0, 1, 0.3); (1, 0, 0.3); (1, 2, 0.2); (2, 1, 0.2) ];
+    }
+  in
+  let graph = Egj_program.graph_of_instance inst in
+  let d = max 1 (Graph.max_degree graph) in
+  let p = Egj_program.make ~epsilon:50.0 ~sensitivity:1 ~noise_max:2 ~l:14 ~frac:4 ~degree:d ~iterations:2 () in
+  let states = Egj_program.encode_instance inst ~graph ~l:14 ~frac:4 ~degree:d ~scale:1.0 in
+  let plan = [ Fault.Crash_node { node = 2; from_round = 2; until_round = 3 } ] in
+  let run executor =
+    let cfg =
+      { (Engine.default_config grp ~k:2 ~degree_bound:d ~seed:"exec-egj") with
+        Engine.fault_plan = plan; executor }
+    in
+    Engine.run cfg p ~graph ~initial_states:states
+  in
+  check_same_report "EGJ" (run Executor.sequential) (run (Executor.parallel ~jobs:4))
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "faults"
@@ -423,5 +505,10 @@ let () =
           Alcotest.test_case "EN edge faults recovered" `Quick test_engine_edge_faults_recovered_en;
           Alcotest.test_case "EGJ crash recovery" `Quick test_engine_crash_recovery_egj;
           Alcotest.test_case "N=20 acceptance scenario" `Slow test_engine_acceptance_n20;
+        ] );
+      ( "executor equivalence",
+        [
+          Alcotest.test_case "EN faulty run" `Quick test_executors_agree_en_faulty;
+          Alcotest.test_case "EGJ crash run" `Quick test_executors_agree_egj;
         ] );
     ]

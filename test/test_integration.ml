@@ -180,6 +180,33 @@ let test_budget_over_runs () =
   Alcotest.(check bool) "next year allowed" true
     (Result.is_ok (Budget.spend b ~label:"next-year" ~epsilon:eps_q))
 
+let test_executors_agree_en () =
+  (* The EN integration scenario must be bit-identical under the
+     sequential and the domain-pool executors: output, per-phase bytes
+     and the full per-node traffic breakdown. *)
+  let graph = En_program.graph_of_instance small_economy in
+  let d = Graph.max_degree graph in
+  let p = En_program.make ~epsilon:1.0 ~sensitivity:1 ~noise_max:30 ~l:12 ~degree:d ~iterations:3 () in
+  let states = En_program.encode_instance small_economy ~graph ~l:12 ~degree:d ~scale:0.25 in
+  let run executor =
+    let cfg =
+      { (Engine.default_config grp ~k:2 ~degree_bound:d ~seed:"exec-en") with
+        Engine.executor }
+    in
+    Engine.run cfg p ~graph ~initial_states:states
+  in
+  let seq = run Dstress_runtime.Executor.sequential in
+  let par = run (Dstress_runtime.Executor.parallel ~jobs:4) in
+  Alcotest.(check int) "same output" seq.Engine.output par.Engine.output;
+  Alcotest.(check (list (pair string int))) "same phase bytes"
+    (List.map (fun (p, b) -> (Engine.phase_name p, b)) seq.Engine.phase_bytes)
+    (List.map (fun (p, b) -> (Engine.phase_name p, b)) par.Engine.phase_bytes);
+  let module T = Dstress_mpc.Traffic in
+  Alcotest.(check (list int)) "same per-node traffic"
+    (List.init (T.parties seq.Engine.traffic) (T.by_node seq.Engine.traffic))
+    (List.init (T.parties par.Engine.traffic) (T.by_node par.Engine.traffic));
+  Alcotest.(check int) "same mpc OTs" seq.Engine.mpc_ots par.Engine.mpc_ots
+
 let test_report_internal_consistency () =
   let _, _, _, r = run_engine () in
   (* OT count = AND gates x n(n-1) summed across sessions; with uniform
@@ -230,6 +257,7 @@ let () =
           Alcotest.test_case "edgeless graph" `Quick test_edgeless_graph;
           Alcotest.test_case "table failures surface" `Quick test_tiny_table_failures_surface;
           Alcotest.test_case "report consistency" `Quick test_report_internal_consistency;
+          Alcotest.test_case "executors agree on EN" `Quick test_executors_agree_en;
         ] );
       ( "policy",
         [ Alcotest.test_case "yearly budget" `Quick test_budget_over_runs ] );

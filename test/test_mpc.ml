@@ -75,6 +75,33 @@ let test_traffic_bounds () =
   Alcotest.check_raises "bad party" (Invalid_argument "Traffic.add: party out of range")
     (fun () -> Traffic.add t ~src:0 ~dst:5 1)
 
+let test_traffic_external_row () =
+  (* Bytes from outside the party set (the TP's setup download) live on a
+     dedicated row: they count as received but are never sent by anyone,
+     and the matrix iterator does not visit them. *)
+  let t = Traffic.create 3 in
+  Traffic.add t ~src:0 ~dst:1 100;
+  Traffic.add_external t ~dst:1 40;
+  Traffic.add_external t ~dst:2 5;
+  Alcotest.(check int) "external to 1" 40 (Traffic.external_to t 1);
+  Alcotest.(check int) "external total" 45 (Traffic.external_total t);
+  Alcotest.(check int) "received includes external" 140 (Traffic.received_by t 1);
+  Alcotest.(check int) "sent excludes external" 0 (Traffic.sent_by t 1);
+  Alcotest.(check int) "by_node counts external once" 140 (Traffic.by_node t 1);
+  Alcotest.(check int) "total includes external" 145 (Traffic.total t);
+  let visited = ref 0 in
+  Traffic.iter_nonzero t (fun ~src:_ ~dst:_ _ -> incr visited);
+  Alcotest.(check int) "iterator skips external row" 1 !visited;
+  let u = Traffic.create 3 in
+  Traffic.add_external u ~dst:0 7;
+  Traffic.merge_into ~dst:t u;
+  Alcotest.(check int) "merge carries external" 52 (Traffic.external_total t);
+  Traffic.clear t;
+  Alcotest.(check int) "clear resets external" 0 (Traffic.external_total t);
+  Alcotest.check_raises "bad external party"
+    (Invalid_argument "Traffic.add_external: party out of range") (fun () ->
+      Traffic.add_external t ~dst:9 1)
+
 (* ------------------------------------------------------------------ *)
 (* GMW vs plaintext evaluation                                         *)
 (* ------------------------------------------------------------------ *)
@@ -264,6 +291,7 @@ let () =
           Alcotest.test_case "accounting" `Quick test_traffic_accounting;
           Alcotest.test_case "merge/clear" `Quick test_traffic_merge_clear;
           Alcotest.test_case "bounds" `Quick test_traffic_bounds;
+          Alcotest.test_case "external row" `Quick test_traffic_external_row;
         ] );
       ( "gmw",
         [

@@ -241,6 +241,111 @@ let test_engine_mpc_counters () =
   Alcotest.(check bool) "ANDs counted" true (report.Engine.mpc_and_gates > 0);
   Alcotest.(check bool) "OTs counted" true (report.Engine.mpc_ots > 0)
 
+(* ------------------------------------------------------------------ *)
+(* Executor equivalence: the parallel backend must be bit-identical to  *)
+(* the sequential one — output, per-phase bytes, the whole traffic      *)
+(* matrix and every counter. Randomness is keyed per task, so the       *)
+(* schedule cannot leak into the result.                                *)
+(* ------------------------------------------------------------------ *)
+
+module Traffic = Dstress_mpc.Traffic
+
+let check_same_report label (a : Engine.report) (b : Engine.report) =
+  let phases l = List.map (fun (p, v) -> (Engine.phase_name p, v)) l in
+  Alcotest.(check int) (label ^ ": output") a.Engine.output b.Engine.output;
+  Alcotest.(check (list (pair string int))) (label ^ ": phase bytes")
+    (phases a.Engine.phase_bytes) (phases b.Engine.phase_bytes);
+  let t = a.Engine.traffic and t' = b.Engine.traffic in
+  Alcotest.(check int) (label ^ ": total traffic") (Traffic.total t) (Traffic.total t');
+  Alcotest.(check (list int)) (label ^ ": per-node traffic")
+    (List.init (Traffic.parties t) (Traffic.by_node t))
+    (List.init (Traffic.parties t') (Traffic.by_node t'));
+  Alcotest.(check int) (label ^ ": external traffic") (Traffic.external_total t)
+    (Traffic.external_total t');
+  Alcotest.(check int) (label ^ ": failures") a.Engine.transfer_failures
+    b.Engine.transfer_failures;
+  Alcotest.(check int) (label ^ ": recovered") a.Engine.recovered_failures
+    b.Engine.recovered_failures;
+  Alcotest.(check int) (label ^ ": unrecovered") a.Engine.unrecovered_failures
+    b.Engine.unrecovered_failures;
+  Alcotest.(check int) (label ^ ": retries") a.Engine.transfer_retries
+    b.Engine.transfer_retries;
+  Alcotest.(check int) (label ^ ": crash recoveries") a.Engine.crash_recoveries
+    b.Engine.crash_recoveries;
+  Alcotest.(check bool) (label ^ ": fault counters") true
+    (a.Engine.faults_injected = b.Engine.faults_injected);
+  Alcotest.(check (float 0.0)) (label ^ ": retry epsilon") a.Engine.retry_epsilon
+    b.Engine.retry_epsilon;
+  Alcotest.(check int) (label ^ ": mpc rounds") a.Engine.mpc_rounds b.Engine.mpc_rounds;
+  Alcotest.(check int) (label ^ ": mpc ANDs") a.Engine.mpc_and_gates b.Engine.mpc_and_gates;
+  Alcotest.(check int) (label ^ ": mpc OTs") a.Engine.mpc_ots b.Engine.mpc_ots
+
+let test_executors_agree_ring () =
+  let n = 6 and l = 8 in
+  let g = ring_graph n in
+  let p = token_program ~l ~iterations:3 ~noisy:true in
+  let states = init_states (Prng.of_int 21) n l in
+  let run executor =
+    let cfg =
+      { (Engine.default_config grp ~k:2 ~degree_bound:2 ~seed:"exec-eq") with
+        Engine.executor }
+    in
+    Engine.run cfg p ~graph:g ~initial_states:states
+  in
+  check_same_report "ring" (run Executor.sequential) (run (Executor.parallel ~jobs:4))
+
+let test_executors_agree_two_level_uneven () =
+  (* n = 5 with fan-out 3 leaves an uneven last group (3 + 2): the leaf
+     batch has heterogeneous tasks and the root must still combine them
+     in group order. *)
+  let n = 5 and l = 8 in
+  let g = ring_graph n in
+  let p = token_program ~l ~iterations:2 ~noisy:true in
+  let states = init_states (Prng.of_int 23) n l in
+  let run executor =
+    let cfg =
+      { (Engine.default_config grp ~k:2 ~degree_bound:2 ~seed:"exec-2lvl") with
+        Engine.aggregation = Engine.Two_level 3; Engine.executor }
+    in
+    Engine.run cfg p ~graph:g ~initial_states:states
+  in
+  check_same_report "two-level" (run Executor.sequential) (run (Executor.parallel ~jobs:4))
+
+let test_executor_map_basics () =
+  let sq = Executor.map Executor.sequential 5 (fun i -> i * i) in
+  let pl = Executor.map (Executor.parallel ~jobs:3) 5 (fun i -> i * i) in
+  Alcotest.(check (array int)) "map results in index order" sq pl;
+  Alcotest.(check string) "parallel name" "parallel:3"
+    (Executor.name (Executor.parallel ~jobs:3));
+  Alcotest.(check bool) "jobs <= 1 collapses to sequential" true
+    (Executor.parallel ~jobs:1 = Executor.sequential);
+  Alcotest.check_raises "task exception propagates" Exit (fun () ->
+      ignore
+        (Executor.map (Executor.parallel ~jobs:2) 4 (fun i ->
+             if i = 2 then raise Exit else i)))
+
+let test_setup_traffic_is_external () =
+  (* The trusted party's setup download lives on the dedicated external
+     row: it equals the Setup phase bytes and never appears as node-sent
+     bytes (no self-loops). *)
+  let n = 4 and l = 8 in
+  let g = ring_graph n in
+  let p = token_program ~l ~iterations:1 ~noisy:false in
+  let states = init_states (Prng.of_int 31) n l in
+  let cfg = Engine.default_config grp ~k:1 ~degree_bound:2 in
+  let r = Engine.run cfg p ~graph:g ~initial_states:states in
+  let ext = Traffic.external_total r.Engine.traffic in
+  Alcotest.(check bool) "setup bytes recorded" true (ext > 0);
+  Alcotest.(check int) "external row = setup phase bytes"
+    (List.assoc Engine.Setup r.Engine.phase_bytes) ext;
+  (* The external row is receive-only: it never inflates anyone's sent
+     bytes (a self-loop would count twice in by_node). *)
+  let sent = List.init n (Traffic.sent_by r.Engine.traffic) in
+  let recv = List.init n (Traffic.received_by r.Engine.traffic) in
+  Alcotest.(check int) "sent + external = received totals"
+    (List.fold_left ( + ) 0 recv)
+    (List.fold_left ( + ) 0 sent + ext)
+
 let test_engine_rejects_bad_inputs () =
   let g = ring_graph 4 in
   let p = token_program ~l:8 ~iterations:1 ~noisy:false in
@@ -282,5 +387,14 @@ let () =
           Alcotest.test_case "phase accounting" `Quick test_engine_phase_accounting;
           Alcotest.test_case "mpc counters" `Quick test_engine_mpc_counters;
           Alcotest.test_case "rejects bad inputs" `Quick test_engine_rejects_bad_inputs;
+        ] );
+      ( "executor",
+        [
+          Alcotest.test_case "map basics" `Quick test_executor_map_basics;
+          Alcotest.test_case "sequential = parallel (ring)" `Quick test_executors_agree_ring;
+          Alcotest.test_case "sequential = parallel (two-level, uneven)" `Quick
+            test_executors_agree_two_level_uneven;
+          Alcotest.test_case "setup traffic on external row" `Quick
+            test_setup_traffic_is_external;
         ] );
     ]
