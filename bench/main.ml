@@ -26,6 +26,7 @@ let experiments : (string * string * (quick:bool -> unit -> unit)) list =
     ("2pc-comparison", "§6: garbled circuits vs GMW", Ablation.twopc);
     ("fault-sweep", "§3.8: recovery cost vs injected fault rate", Fault_bench.run);
     ("executor", "runtime: sequential vs domain-pool executor", Executor_bench.run);
+    ("gmw-slice", "bitsliced GMW: scalar vs 64-wide sliced evaluation", Slice_bench.run);
   ]
 
 let () =

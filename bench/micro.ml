@@ -12,12 +12,17 @@ let make_tests () =
   let exponent = Group.random_exponent prg grp in
   let grp_std = Group.by_name "standard" in
   let exponent_std = Group.random_exponent prg grp_std in
+  let g_std = Group.g grp_std in
   let _, pk = Exp_elgamal.keygen prg grp in
   let msg = Bytes.make 64 'x' in
   [
     Test.make ~name:"modexp-64bit-group" (Staged.stage (fun () -> Group.pow_g grp exponent));
     Test.make ~name:"modexp-256bit-group"
       (Staged.stage (fun () -> Group.pow_g grp_std exponent_std));
+    (* Same base and exponent through the generic square-and-multiply
+       path: the gap is what the fixed-base window table buys. *)
+    Test.make ~name:"modexp-256bit-generic"
+      (Staged.stage (fun () -> Group.pow grp_std g_std exponent_std));
     Test.make ~name:"exp-elgamal-encrypt"
       (Staged.stage (fun () -> Exp_elgamal.encrypt prg grp pk 5));
     Test.make ~name:"sha256-64B" (Staged.stage (fun () -> Sha256.digest msg));

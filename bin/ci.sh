@@ -20,7 +20,7 @@ DSTRESS_JOBS=1 dune runtest
 echo "== dune runtest (parallel executor, 4 domains) =="
 DSTRESS_JOBS=4 dune runtest --force
 
-echo "== bench smoke (fig3-left + executor, quick) =="
-dune exec bench/main.exe -- --quick fig3-left executor
+echo "== bench smoke (fig3-left + executor + gmw-slice, quick) =="
+dune exec bench/main.exe -- --quick fig3-left executor gmw-slice
 
 echo "CI OK"

@@ -102,6 +102,15 @@ let executor_of_jobs jobs =
   if jobs < 1 then invalid_arg "dstress: --jobs must be >= 1"
   else Dstress_runtime.Executor.parallel ~jobs
 
+let slice_width_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "slice-width" ] ~docv:"INT"
+        ~doc:
+          "Vertices per bitsliced GMW batch in a computation step (1-64). 1 \
+           selects the scalar per-vertex evaluator; results are identical \
+           for every value.")
+
 (* Fault plans are drawn against the concrete graph, so this runs after
    graph construction, just before the engine starts. *)
 let faulty_config cfg ~graph ~iterations ~seed ~fault_rate ~fault_crashes ~max_retries
@@ -138,7 +147,7 @@ let make_network ~seed ~core ~periphery ~shock =
   (Banking.shock_en prng inst topo shock, topo)
 
 let stress model seed grpname k core periphery iterations epsilon shock reference_only
-    fault_rate fault_crashes max_retries backoff jobs =
+    fault_rate fault_crashes max_retries backoff jobs slice_width =
   let grp = Group.by_name grpname in
   let inst, _ = make_network ~seed ~core ~periphery ~shock in
   match model with
@@ -155,7 +164,8 @@ let stress model seed grpname k core periphery iterations epsilon shock referenc
         let cfg =
           faulty_config
             { (Engine.default_config grp ~k ~degree_bound:degree ~seed:(string_of_int seed)) with
-              Engine.executor = executor_of_jobs jobs }
+              Engine.executor = executor_of_jobs jobs;
+              slice_width }
             ~graph ~iterations ~seed ~fault_rate ~fault_crashes ~max_retries ~backoff
         in
         let report = Engine.run cfg p ~graph ~initial_states:states in
@@ -184,7 +194,8 @@ let stress model seed grpname k core periphery iterations epsilon shock referenc
         let cfg =
           faulty_config
             { (Engine.default_config grp ~k ~degree_bound:degree ~seed:(string_of_int seed)) with
-              Engine.executor = executor_of_jobs jobs }
+              Engine.executor = executor_of_jobs jobs;
+              slice_width }
             ~graph ~iterations ~seed ~fault_rate ~fault_crashes ~max_retries ~backoff
         in
         let report = Engine.run cfg p ~graph ~initial_states:states in
@@ -206,7 +217,7 @@ let stress_cmd =
     Term.(
       const stress $ model_arg $ seed_arg $ group_arg $ k_arg $ core_arg $ periphery_arg
       $ iterations_arg $ epsilon_arg $ shock_arg $ reference_only_arg $ fault_rate_arg
-      $ fault_crashes_arg $ max_retries_arg $ backoff_arg $ jobs_arg)
+      $ fault_crashes_arg $ max_retries_arg $ backoff_arg $ jobs_arg $ slice_width_arg)
 
 (* ------------------------------------------------------------------ *)
 (* project command                                                     *)

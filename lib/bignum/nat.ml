@@ -65,6 +65,12 @@ let compare a b =
 
 let equal a b = compare a b = 0
 
+(* FNV-style limb fold. Normalization makes the representation canonical,
+   so [equal a b] implies [hash a = hash b]; masking keeps it positive. *)
+let hash (t : t) =
+  Array.fold_left (fun acc limb -> ((acc * 16777619) lxor limb) land max_int)
+    (Array.length t + 2166136261) t
+
 let num_bits t =
   let n = Array.length t in
   if n = 0 then 0

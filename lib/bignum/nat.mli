@@ -30,6 +30,11 @@ val is_even : t -> bool
 val compare : t -> t -> int
 val equal : t -> t -> bool
 
+val hash : t -> int
+(** Cheap non-cryptographic hash over the limbs, consistent with {!equal}
+    (the representation is canonical). Lets hash tables key directly on
+    numbers instead of on allocated hex strings. *)
+
 val num_bits : t -> int
 (** Position of the highest set bit plus one; [num_bits zero = 0]. *)
 

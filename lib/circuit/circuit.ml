@@ -83,14 +83,35 @@ type stats = {
   depth : int;
 }
 
-let stats t =
+(* One pass over the gate array: count gate kinds and track AND levels
+   (same recurrence as [and_levels]) simultaneously. *)
+let stats (t : t) =
+  let n = Array.length t.gates in
+  let levels = Array.make n 0 in
+  let ands = ref 0 and xors = ref 0 and nots = ref 0 and depth = ref 0 in
+  Array.iteri
+    (fun i g ->
+      match g with
+      | Input _ | Const _ -> ()
+      | Not a ->
+          levels.(i) <- levels.(a);
+          incr nots
+      | Xor (a, b) ->
+          levels.(i) <- max levels.(a) levels.(b);
+          incr xors
+      | And (a, b) ->
+          let l = max levels.(a) levels.(b) + 1 in
+          levels.(i) <- l;
+          if l > !depth then depth := l;
+          incr ands)
+    t.gates;
   {
     inputs = t.num_inputs;
-    gates = num_gates t;
-    ands = and_count t;
-    xors = xor_count t;
-    nots = not_count t;
-    depth = and_depth t;
+    gates = n;
+    ands = !ands;
+    xors = !xors;
+    nots = !nots;
+    depth = !depth;
   }
 
 let pp_stats ppf s =

@@ -25,23 +25,33 @@ let adjust grp c r = { c with c1 = Group.pow grp c.c1 r }
 
 let decrypt_elt = Elgamal.decrypt
 
+(* Keying the table on the number itself (canonical limb array, cheap
+   Nat.hash) avoids allocating a hex string per probe on the transfer hot
+   path. *)
+module Nat_table = Hashtbl.Make (struct
+  type t = Nat.t
+
+  let equal = Nat.equal
+  let hash = Nat.hash
+end)
+
 module Table = struct
-  type t = { entries : (string, int) Hashtbl.t; size : int }
+  type t = { entries : int Nat_table.t; size : int }
 
   let make grp ~lo ~hi =
     if hi < lo then invalid_arg "Exp_elgamal.Table.make: hi < lo";
-    let entries = Hashtbl.create (2 * (hi - lo + 1)) in
+    let entries = Nat_table.create (2 * (hi - lo + 1)) in
     (* Walk the range with one group multiplication per entry instead of a
        full exponentiation each. *)
     let g = Group.g grp in
     let cur = ref (g_to_the grp lo) in
     for v = lo to hi do
-      Hashtbl.replace entries (Nat.to_hex !cur) v;
+      Nat_table.replace entries !cur v;
       cur := Group.mul grp !cur g
     done;
     { entries; size = hi - lo + 1 }
 
-  let lookup t elt = Hashtbl.find_opt t.entries (Nat.to_hex elt)
+  let lookup t elt = Nat_table.find_opt t.entries elt
 
   let size t = t.size
 end

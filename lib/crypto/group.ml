@@ -9,7 +9,27 @@ type t = {
   g : elt;
   mont : Nat.Mont.ctx;
   g_mont : Nat.t; (* generator in Montgomery form, for pow_g *)
+  one_mont : Nat.t;
+  g_table : Nat.t array array;
+      (* fixed-base window table: g_table.(i).(d-1) is g^(d * 2^(w*i)) in
+         Montgomery form, for digits d in [1, 2^w). Covers every exponent
+         below q; built eagerly so parallel domains never race a lazy. *)
 }
+
+let fixed_base_window = 4
+
+let build_g_table mont g_mont ~ebits =
+  let w = fixed_base_window in
+  let windows = (ebits + w - 1) / w in
+  let digits = (1 lsl w) - 1 in
+  let base = ref g_mont in
+  Array.init windows (fun _ ->
+      let row = Array.make digits !base in
+      for d = 1 to digits - 1 do
+        row.(d) <- Nat.Mont.mul mont row.(d - 1) !base
+      done;
+      base := Nat.Mont.mul mont row.(digits - 1) !base;
+      row)
 
 let p t = t.p
 let q t = t.q
@@ -24,7 +44,16 @@ let make ~p ~q ~g =
   let pow_plain b e = Nat.mod_pow ~base:b ~exp:e ~m:p in
   if Nat.is_one g || not (Nat.is_one (pow_plain g q)) then
     invalid_arg "Group.make: generator does not have order q";
-  { p; q; g; mont; g_mont = Nat.Mont.to_mont mont g }
+  let g_mont = Nat.Mont.to_mont mont g in
+  {
+    p;
+    q;
+    g;
+    mont;
+    g_mont;
+    one_mont = Nat.Mont.to_mont mont Nat.one;
+    g_table = build_g_table mont g_mont ~ebits:(Nat.num_bits q);
+  }
 
 (* Parameters generated offline (see DESIGN.md): safe primes with fixed
    seed 0xD57E55; g = 4 = 2^2 is a square, hence a generator of the
@@ -63,7 +92,29 @@ let mul t a b =
 let pow t b e =
   Nat.Mont.from_mont t.mont (Nat.Mont.pow t.mont (Nat.Mont.to_mont t.mont b) e)
 
-let pow_g t e = Nat.Mont.from_mont t.mont (Nat.Mont.pow t.mont t.g_mont e)
+(* Fixed-base exponentiation: one precomputed-table multiplication per
+   nonzero w-bit digit of the exponent, no squarings. Exponents wider than
+   the table (never produced by the exponent arithmetic, which reduces
+   mod q) fall back to the generic ladder. *)
+let pow_g t e =
+  let w = fixed_base_window in
+  let nb = Nat.num_bits e in
+  if nb > w * Array.length t.g_table then
+    Nat.Mont.from_mont t.mont (Nat.Mont.pow t.mont t.g_mont e)
+  else begin
+    let acc = ref t.one_mont in
+    for i = 0 to ((nb + w - 1) / w) - 1 do
+      let lo = w * i in
+      let d =
+        (if Nat.bit e lo then 1 else 0)
+        lor (if Nat.bit e (lo + 1) then 2 else 0)
+        lor (if Nat.bit e (lo + 2) then 4 else 0)
+        lor (if Nat.bit e (lo + 3) then 8 else 0)
+      in
+      if d <> 0 then acc := Nat.Mont.mul t.mont !acc t.g_table.(i).(d - 1)
+    done;
+    Nat.Mont.from_mont t.mont !acc
+  end
 
 let inv t a = Nat.mod_inv a ~m:t.p
 

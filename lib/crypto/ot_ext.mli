@@ -50,5 +50,26 @@ val extend_bits :
     bits and the wire format packs them, so the metered traffic is
     [kappa/8] bytes per OT plus two packed bit vectors. *)
 
+val extend_words :
+  session ->
+  Meter.t ->
+  width:int ->
+  pairs:(int64 * int64) array ->
+  choices:int64 array ->
+  int64 array
+(** Bitsliced bit-OT batch: entry [g] of [pairs] and [choices] packs the
+    same logical OT for [width <= 64] independent protocol instances, one
+    per bit lane (lane [l] = bit [l] of each word); the result packs the
+    receiver outputs the same way, with lanes at and above [width] zero.
+    A call performs [width * Array.length pairs] OTs and meters exactly
+    the bytes {!extend_bits} would move for that many OTs in one batch.
+
+    In [Simulation] mode the outputs are produced by the ideal OT
+    functionality evaluated directly on the words — observably equivalent
+    because IKNP always hands the receiver exactly its chosen message —
+    without unpacking to [bool array]; [Crypto] mode runs the full
+    construction lane by lane. Raises [Invalid_argument] on length
+    mismatch or [width] outside [1, 64]. *)
+
 val ots_performed : session -> int
 (** Total OTs served so far (diagnostics). *)

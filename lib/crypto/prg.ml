@@ -36,8 +36,19 @@ let next_byte t =
   t.pos <- t.pos + 1;
   Char.code b
 
+(* Bulk draw: blit whole buffered blocks instead of going byte by byte.
+   The output stream is identical to repeated [next_byte]. *)
 let bytes t n =
-  Bytes.init n (fun _ -> Char.chr (next_byte t))
+  let out = Bytes.create n in
+  let filled = ref 0 in
+  while !filled < n do
+    if t.pos >= Bytes.length t.buffer then refill t;
+    let take = min (n - !filled) (Bytes.length t.buffer - t.pos) in
+    Bytes.blit t.buffer t.pos out !filled take;
+    t.pos <- t.pos + take;
+    filled := !filled + take
+  done;
+  out
 
 let bits t n =
   let nbytes = (n + 7) / 8 in

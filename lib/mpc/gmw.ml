@@ -62,6 +62,10 @@ let share_input s v = Sharing.share s.prgs.(0) ~parties:s.n v
    x_p * y_q of ordered pair (p, q), sender p masks with a fresh random
    bit a and offers (a, a XOR x_p); receiver q selects with y_q and adds
    the result to its share. *)
+(* Draw [m] mask bits from [prg] as one bulk byte draw — the same byte
+   stream, hence the same bits, as [m] successive [Prg.bool] calls. *)
+let draw_mask_bytes prg m = Prg.bytes prg m
+
 let and_round s vals pending xs ys =
   let m = Array.length pending in
   (* Local terms x_p * y_p. *)
@@ -72,7 +76,8 @@ let and_round s vals pending xs ys =
     for receiver = 0 to s.n - 1 do
       if sender <> receiver then begin
         let session = ot_session s ~sender ~receiver in
-        let masks = Array.init m (fun _ -> Prg.bool s.prgs.(sender)) in
+        let raw = draw_mask_bytes s.prgs.(sender) m in
+        let masks = Array.init m (fun idx -> Char.code (Bytes.get raw idx) land 1 = 1) in
         let pairs = Array.init m (fun idx -> (masks.(idx), masks.(idx) <> xs.(sender).(idx))) in
         let choices = Array.init m (fun idx -> ys.(receiver).(idx)) in
         let meter = Meter.create () in
@@ -90,6 +95,11 @@ let and_round s vals pending xs ys =
   s.and_gates <- s.and_gates + m;
   s.rounds <- s.rounds + 1
 
+(* The evaluator replays a compiled plan ({!Plan}): local gates between
+   AND rounds are precomputed op lists, each AND level is one batched
+   communication round. The batches are identical (order and content) to
+   the ones the historical sweep-based evaluator formed, so PRG draws,
+   OT-session setup order, traffic and counters are unchanged. *)
 let eval s circuit ~input_shares =
   if Array.length input_shares <> s.n then
     invalid_arg "Gmw.eval: need one input share vector per party";
@@ -98,70 +108,188 @@ let eval s circuit ~input_shares =
       if Bitvec.length v <> circuit.Circuit.num_inputs then
         invalid_arg "Gmw.eval: input share length mismatch")
     input_shares;
-  let gates = circuit.Circuit.gates in
-  let ngates = Array.length gates in
-  let vals = Array.init s.n (fun _ -> Array.make ngates false) in
-  let computed = Array.make ngates false in
-  (* Repeat: sweep the (topologically ordered) gate list computing every
-     local gate whose dependencies are ready; collect the ready AND gates
-     and evaluate them as one batched communication round. *)
-  let rec sweep () =
-    let pending = ref [] in
-    Array.iteri
-      (fun i g ->
-        if not computed.(i) then
-          match g with
-          | Circuit.Input k ->
-              for p = 0 to s.n - 1 do
-                vals.(p).(i) <- Bitvec.get input_shares.(p) k
-              done;
-              computed.(i) <- true
-          | Circuit.Const b ->
-              vals.(0).(i) <- b;
-              computed.(i) <- true
-          | Circuit.Not a ->
-              if computed.(a) then begin
-                for p = 0 to s.n - 1 do
-                  vals.(p).(i) <- (if p = 0 then not vals.(p).(a) else vals.(p).(a))
-                done;
-                computed.(i) <- true
-              end
-          | Circuit.Xor (a, b) ->
-              if computed.(a) && computed.(b) then begin
-                for p = 0 to s.n - 1 do
-                  vals.(p).(i) <- vals.(p).(a) <> vals.(p).(b)
-                done;
-                computed.(i) <- true
-              end
-          | Circuit.And (a, b) ->
-              if computed.(a) && computed.(b) then pending := i :: !pending)
-      gates;
-    match List.rev !pending with
-    | [] -> ()
-    | ready ->
-        let batch = Array.of_list ready in
-        let operand sel =
-          Array.init s.n (fun p ->
-              Array.map
-                (fun w ->
-                  match gates.(w) with
-                  | Circuit.And (a, b) -> vals.(p).(if sel then a else b)
-                  | Circuit.Input _ | Circuit.Const _ | Circuit.Not _ | Circuit.Xor _ ->
-                      assert false)
-                batch)
-        in
-        let xs = operand true and ys = operand false in
-        and_round s vals batch xs ys;
-        Array.iter (fun w -> computed.(w) <- true) batch;
-        sweep ()
+  let plan = Plan.of_circuit circuit in
+  let vals = Array.init s.n (fun _ -> Array.make (Plan.num_wires plan) false) in
+  let apply op =
+    match op with
+    | Plan.Load_input { dst; input } ->
+        for p = 0 to s.n - 1 do
+          vals.(p).(dst) <- Bitvec.unsafe_get input_shares.(p) input
+        done
+    | Plan.Load_const { dst; value } ->
+        (* Party 0 carries the public constant; other shares stay 0. *)
+        vals.(0).(dst) <- value
+    | Plan.Local_not { dst; src } ->
+        vals.(0).(dst) <- not vals.(0).(src);
+        for p = 1 to s.n - 1 do
+          vals.(p).(dst) <- vals.(p).(src)
+        done
+    | Plan.Local_xor { dst; a; b } ->
+        for p = 0 to s.n - 1 do
+          vals.(p).(dst) <- vals.(p).(a) <> vals.(p).(b)
+        done
   in
-  sweep ();
-  (* Anything still uncomputed would mean a cyclic circuit, which
-     Circuit.make rules out. *)
-  assert (Array.for_all (fun c -> c) computed);
+  Array.iter apply (Plan.prologue plan);
+  Array.iter
+    (fun (lv : Plan.level) ->
+      let pick ws = Array.init s.n (fun p -> Array.map (fun w -> vals.(p).(w)) ws) in
+      let xs = pick lv.Plan.and_a and ys = pick lv.Plan.and_b in
+      and_round s vals lv.Plan.and_dst xs ys;
+      Array.iter apply lv.Plan.post)
+    (Plan.levels plan);
   Array.init s.n (fun p ->
       Bitvec.init (Array.length circuit.Circuit.outputs) (fun o ->
           vals.(p).(circuit.Circuit.outputs.(o))))
+
+(* ------------------------------------------------------------------ *)
+(* Bitsliced evaluation                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Evaluate up to 64 sessions in lockstep over one compiled plan. Wire
+   values are int64 words: bit [sl] of every word belongs to instance
+   [sl], so local gates cost one word op for all instances, and each AND
+   level issues a single word-level OT batch per ordered pair instead of
+   [slots] scalar ones. Everything observable per instance replays the
+   scalar path exactly:
+   - mask bits come from the same per-session sender PRG bytes, drawn in
+     the same order (level, then receiver, then gate);
+   - each instance's OT pair session is set up lazily on first use,
+     consuming the same PRG bytes and charging the same base-OT traffic;
+   - extension traffic is charged per instance with the scalar formula
+     (kappa * ceil(m/8) receiver->sender, 2 * ceil(m/8) sender->receiver
+     per pair and level), not as a 1/slots share of the batched transfer —
+     the "accounting split" that keeps traffic matrices bit-identical;
+   - rounds/AND/OT counters advance per instance as in [and_round].
+   The word-level batch itself runs on slot 0's pair session; its honest
+   batch meter is discarded in favour of the per-instance split. *)
+let eval_sliced plan sessions input_shares =
+  let slots = Array.length sessions in
+  let s0 = sessions.(0) in
+  let n = s0.n in
+  let slot_mask = if slots = 64 then -1L else Int64.sub (Int64.shift_left 1L slots) 1L in
+  let vals = Array.init n (fun _ -> Array.make (Plan.num_wires plan) 0L) in
+  let apply op =
+    match op with
+    | Plan.Load_input { dst; input } ->
+        for p = 0 to n - 1 do
+          let w = ref 0L in
+          for sl = slots - 1 downto 0 do
+            w :=
+              Int64.logor (Int64.shift_left !w 1)
+                (if Bitvec.unsafe_get input_shares.(sl).(p) input then 1L else 0L)
+          done;
+          vals.(p).(dst) <- !w
+        done
+    | Plan.Load_const { dst; value } -> vals.(0).(dst) <- (if value then slot_mask else 0L)
+    | Plan.Local_not { dst; src } ->
+        vals.(0).(dst) <- Int64.logxor vals.(0).(src) slot_mask;
+        for p = 1 to n - 1 do
+          vals.(p).(dst) <- vals.(p).(src)
+        done
+    | Plan.Local_xor { dst; a; b } ->
+        for p = 0 to n - 1 do
+          vals.(p).(dst) <- Int64.logxor vals.(p).(a) vals.(p).(b)
+        done
+  in
+  Array.iter apply (Plan.prologue plan);
+  let scratch = Meter.create () in
+  Array.iter
+    (fun (lv : Plan.level) ->
+      let dst = lv.Plan.and_dst and wa = lv.Plan.and_a and wb = lv.Plan.and_b in
+      let m = Array.length dst in
+      (* Local terms x_p * y_p, all slots at once. *)
+      for p = 0 to n - 1 do
+        let vp = vals.(p) in
+        for g = 0 to m - 1 do
+          vp.(dst.(g)) <- Int64.logand vp.(wa.(g)) vp.(wb.(g))
+        done
+      done;
+      let masks = Array.make m 0L in
+      for sender = 0 to n - 1 do
+        for receiver = 0 to n - 1 do
+          if sender <> receiver then begin
+            Array.fill masks 0 m 0L;
+            for sl = 0 to slots - 1 do
+              let s = sessions.(sl) in
+              ignore (ot_session s ~sender ~receiver);
+              let raw = draw_mask_bytes s.prgs.(sender) m in
+              let bit = Int64.shift_left 1L sl in
+              for g = 0 to m - 1 do
+                if Char.code (Bytes.get raw g) land 1 = 1 then
+                  masks.(g) <- Int64.logor masks.(g) bit
+              done
+            done;
+            let vs = vals.(sender) and vr = vals.(receiver) in
+            let pairs =
+              Array.init m (fun g -> (masks.(g), Int64.logxor masks.(g) vs.(wa.(g))))
+            in
+            let choices = Array.init m (fun g -> vr.(wb.(g))) in
+            let carrier = ot_session s0 ~sender ~receiver in
+            let outs = Ot_ext.extend_words carrier scratch ~width:slots ~pairs ~choices in
+            Meter.reset scratch;
+            for g = 0 to m - 1 do
+              let w = dst.(g) in
+              vs.(w) <- Int64.logxor vs.(w) masks.(g);
+              vr.(w) <- Int64.logxor vr.(w) outs.(g)
+            done;
+            let col = Ot_ext.kappa * ((m + 7) / 8) and row = 2 * ((m + 7) / 8) in
+            for sl = 0 to slots - 1 do
+              let s = sessions.(sl) in
+              Traffic.add s.traffic ~src:receiver ~dst:sender col;
+              Traffic.add s.traffic ~src:sender ~dst:receiver row;
+              s.ots <- s.ots + m
+            done
+          end
+        done
+      done;
+      for sl = 0 to slots - 1 do
+        let s = sessions.(sl) in
+        s.and_gates <- s.and_gates + m;
+        s.rounds <- s.rounds + 1
+      done;
+      Array.iter apply lv.Plan.post)
+    (Plan.levels plan);
+  let outputs = (Plan.circuit plan).Circuit.outputs in
+  Array.init slots (fun sl ->
+      Array.init n (fun p ->
+          Bitvec.init (Array.length outputs) (fun o ->
+              Int64.logand (Int64.shift_right_logical vals.(p).(outputs.(o)) sl) 1L = 1L)))
+
+let eval_many sessions circuit ~input_shares =
+  let count = Array.length sessions in
+  if Array.length input_shares <> count then
+    invalid_arg "Gmw.eval_many: need one input-share set per session";
+  if count = 0 then [||]
+  else begin
+    let n = sessions.(0).n and mode = sessions.(0).mode in
+    Array.iter
+      (fun s ->
+        if s.n <> n || s.mode <> mode then
+          invalid_arg "Gmw.eval_many: sessions must agree on party count and OT mode")
+      sessions;
+    Array.iter
+      (fun shares ->
+        if Array.length shares <> n then
+          invalid_arg "Gmw.eval: need one input share vector per party";
+        Array.iter
+          (fun v ->
+            if Bitvec.length v <> circuit.Circuit.num_inputs then
+              invalid_arg "Gmw.eval: input share length mismatch")
+          shares)
+      input_shares;
+    let plan = Plan.of_circuit circuit in
+    let out = Array.make count [||] in
+    let pos = ref 0 in
+    while !pos < count do
+      let slots = min 64 (count - !pos) in
+      let chunk =
+        eval_sliced plan (Array.sub sessions !pos slots) (Array.sub input_shares !pos slots)
+      in
+      Array.blit chunk 0 out !pos slots;
+      pos := !pos + slots
+    done;
+    out
+  end
 
 let reveal s shares =
   let bits = Bitvec.length shares.(0) in

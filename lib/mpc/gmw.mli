@@ -49,6 +49,24 @@ val eval :
     (outputs are *not* revealed — DStress keeps them shared, §3.6).
     Raises [Invalid_argument] on shape mismatches. *)
 
+val eval_many :
+  session array ->
+  Dstress_circuit.Circuit.t ->
+  input_shares:Dstress_util.Bitvec.t array array ->
+  Dstress_util.Bitvec.t array array
+(** Bitsliced evaluation of the same circuit across many independent
+    sessions (protocol instances): [eval_many sessions c ~input_shares]
+    is observably identical to
+    [Array.mapi (fun i s -> eval s c ~input_shares:input_shares.(i)) sessions]
+    — same output shares, same per-session traffic matrices, same
+    rounds/AND/OT counters, same PRG states afterwards — but packs up to
+    64 instances into each [int64] wire word, so local gates cost one
+    word op and each AND level runs one word-level OT batch per ordered
+    pair ({!Dstress_crypto.Ot_ext.extend_words}) instead of one scalar
+    batch per instance. Instances beyond 64 are processed in successive
+    chunks. All sessions must agree on party count and OT mode.
+    Raises [Invalid_argument] on shape mismatches. *)
+
 val reveal : session -> Dstress_util.Bitvec.t array -> Dstress_util.Bitvec.t
 (** Open shared values by all-to-all broadcast of shares (metered). *)
 

@@ -60,6 +60,8 @@ let mean_per_node t =
   done;
   float_of_int !acc /. float_of_int t.n
 
+let equal a b = a.n = b.n && a.bytes = b.bytes && a.external_in = b.external_in
+
 let merge_into ~dst src =
   if dst.n <> src.n then invalid_arg "Traffic.merge_into: size mismatch";
   Array.iteri (fun i v -> dst.bytes.(i) <- dst.bytes.(i) + v) src.bytes;

@@ -27,6 +27,7 @@ type config = {
   max_retries : int;
   backoff : float;
   executor : Executor.t;
+  slice_width : int;
 }
 
 (* How much wider the escalation lookup table is than the regular one:
@@ -48,6 +49,7 @@ let default_config ?(seed = "dstress") grp ~k ~degree_bound =
     max_retries = 2;
     backoff = 0.05;
     executor = Executor.of_env ();
+    slice_width = 64;
   }
 
 let validate_config cfg =
@@ -62,6 +64,8 @@ let validate_config cfg =
   | Two_level _ | Single_block -> ());
   if cfg.max_retries < 0 then invalid_arg "Engine.run: max_retries must be >= 0";
   if cfg.backoff < 0.0 then invalid_arg "Engine.run: backoff must be >= 0";
+  if cfg.slice_width < 1 || cfg.slice_width > 64 then
+    invalid_arg "Engine.run: slice_width must be in [1, 64]";
   match cfg.executor with
   | Executor.Parallel { jobs } when jobs < 1 ->
       invalid_arg "Engine.run: executor jobs must be >= 1"
@@ -197,39 +201,92 @@ let run cfg p ~graph ~initial_states =
      book-keeping); the re-sharing runs inside the block's task with an
      event-keyed PRG and is charged as re-sharing traffic plus one backoff
      period. *)
+  (* Crash handoff for vertex [i]: re-share every value block [i] holds,
+     once per crashed member. Charges re-sharing traffic to [traffic] and
+     returns the number of recovery events. *)
+  let recover_crashes ~round ~traffic i crashed_members =
+    let b = blocks.(i) in
+    List.iter
+      (fun m ->
+        let prg = Block.derive_prg ~seed (Printf.sprintf "reshare:%d:%d:%d" round i m) in
+        let values = b.Block.state :: Array.to_list b.Block.inbox in
+        let src_blocks = List.map (fun _ -> b.Block.members) values in
+        match
+          Block.reshare ~prg ~kp1 ~ebytes ~traffic ~src_blocks
+            ~dst_members:b.Block.members values
+        with
+        | st :: msgs ->
+            b.Block.state <- st;
+            List.iteri (fun s v -> b.Block.inbox.(s) <- v) msgs
+        | [] -> assert false)
+      crashed_members;
+    List.length crashed_members
+  in
   let compute ~round () =
     let crashed =
       Array.init n (fun i ->
           Array.to_list blocks.(i).Block.members
           |> List.filter (fun m -> Fault.Injector.crash_starting injector ~round ~node:m))
     in
-    Phase.run_tasks exec acc Computation ~count:n
-      ~task:(fun i ->
-        let traffic = Traffic.create n in
-        let b = blocks.(i) in
-        List.iter
-          (fun m ->
-            let prg =
-              Block.derive_prg ~seed (Printf.sprintf "reshare:%d:%d:%d" round i m)
-            in
-            let values = b.Block.state :: Array.to_list b.Block.inbox in
-            let src_blocks = List.map (fun _ -> b.Block.members) values in
-            match
-              Block.reshare ~prg ~kp1 ~ebytes ~traffic ~src_blocks
-                ~dst_members:b.Block.members values
-            with
-            | st :: msgs ->
-                b.Block.state <- st;
-                List.iteri (fun s v -> b.Block.inbox.(s) <- v) msgs
-            | [] -> assert false)
-          crashed.(i);
-        let out = Gmw.eval b.Block.session update_c ~input_shares:(Block.gather_inputs b) in
-        Block.scatter_outputs b out;
-        merge_session_traffic traffic b.Block.session b.Block.members;
-        { Phase.traffic; payload = List.length crashed.(i) })
-      ~merge:(fun _ events ->
-        crash_recoveries := !crash_recoveries + events;
-        Phase.Accounting.add_recovery acc Computation (float_of_int events *. cfg.backoff))
+    if cfg.slice_width = 1 then
+      (* Scalar path: one task per vertex, one scalar GMW evaluation each. *)
+      Phase.run_tasks exec acc Computation ~count:n
+        ~task:(fun i ->
+          let traffic = Traffic.create n in
+          let b = blocks.(i) in
+          let events = recover_crashes ~round ~traffic i crashed.(i) in
+          let out =
+            Gmw.eval b.Block.session update_c ~input_shares:(Block.gather_inputs b)
+          in
+          Block.scatter_outputs b out;
+          merge_session_traffic traffic b.Block.session b.Block.members;
+          { Phase.traffic; payload = [| events |] })
+        ~merge:(fun _ events ->
+          Array.iter
+            (fun e ->
+              crash_recoveries := !crash_recoveries + e;
+              Phase.Accounting.add_recovery acc Computation (float_of_int e *. cfg.backoff))
+            events)
+    else begin
+      (* Bitsliced path: every vertex runs the same update circuit, so a
+         task takes a contiguous group of vertices and evaluates them as
+         one sliced GMW batch (Gmw.eval_many). Under a domain pool the
+         group shrinks so every worker stays busy; the partition is free
+         to vary because eval_many is observably identical per instance,
+         and the merge replays per-vertex recovery accounting in vertex
+         order, so reports stay bit-identical to the scalar path. *)
+      let group_size =
+        match exec with
+        | Executor.Sequential -> cfg.slice_width
+        | Executor.Parallel { jobs } ->
+            max 1 (min cfg.slice_width ((n + jobs - 1) / jobs))
+      in
+      let groups = (n + group_size - 1) / group_size in
+      Phase.run_tasks exec acc Computation ~count:groups
+        ~task:(fun gi ->
+          let lo = gi * group_size in
+          let len = min group_size (n - lo) in
+          let traffic = Traffic.create n in
+          let events =
+            Array.init len (fun o -> recover_crashes ~round ~traffic (lo + o) crashed.(lo + o))
+          in
+          let sessions = Array.init len (fun o -> blocks.(lo + o).Block.session) in
+          let inputs = Array.init len (fun o -> Block.gather_inputs blocks.(lo + o)) in
+          let outs = Gmw.eval_many sessions update_c ~input_shares:inputs in
+          Array.iteri
+            (fun o out ->
+              let b = blocks.(lo + o) in
+              Block.scatter_outputs b out;
+              merge_session_traffic traffic b.Block.session b.Block.members)
+            outs;
+          { Phase.traffic; payload = events })
+        ~merge:(fun _ events ->
+          Array.iter
+            (fun e ->
+              crash_recoveries := !crash_recoveries + e;
+              Phase.Accounting.add_recovery acc Computation (float_of_int e *. cfg.backoff))
+            events)
+    end
   in
   (* --- Communication step ---------------------------------------- *)
   let edges = Array.of_list (Graph.edges graph) in

@@ -59,13 +59,21 @@ type config = {
   max_retries : int;  (** transfer retries before table escalation *)
   backoff : float;  (** base simulated backoff in seconds (doubles per retry) *)
   executor : Executor.t;  (** Sequential, or Parallel on a domain pool *)
+  slice_width : int;
+      (** max vertices per bitsliced GMW batch in a computation step
+          (1–64). Every vertex runs the same update circuit, so up to
+          [slice_width] instances are packed into [int64] wire words and
+          evaluated together ({!Dstress_mpc.Gmw.eval_many}); [1] selects
+          the scalar per-vertex path. Either setting produces bit-identical
+          reports — outputs, traffic matrix, fault/retry counters. *)
 }
 
 val default_config : ?seed:string -> Dstress_crypto.Group.t -> k:int -> degree_bound:int -> config
 (** Simulation OT mode, [transfer_alpha = 0.5], table radius 120,
-    single-block aggregation, no faults, 2 retries, 50 ms base backoff.
-    The executor comes from {!Executor.of_env} — sequential unless the
-    [DSTRESS_JOBS] environment variable requests a domain pool. *)
+    single-block aggregation, no faults, 2 retries, 50 ms base backoff,
+    slice width 64. The executor comes from {!Executor.of_env} —
+    sequential unless the [DSTRESS_JOBS] environment variable requests a
+    domain pool. *)
 
 val escalation_widening : int
 (** Factor by which the last-resort decryption table is wider than
@@ -75,8 +83,8 @@ val validate_config : config -> unit
 (** Raises [Invalid_argument] with a descriptive message if any field is
     out of range ([k < 1], [transfer_alpha] outside (0,1), nonpositive
     [table_radius], a [Two_level] fan-out < 1, negative [max_retries] or
-    [backoff], a [Parallel] executor with [jobs < 1]). Called by {!run}
-    before any work starts. *)
+    [backoff], a [Parallel] executor with [jobs < 1], [slice_width]
+    outside [1, 64]). Called by {!run} before any work starts. *)
 
 type phase = Phase.id = Setup | Initialization | Computation | Communication | Aggregation
 

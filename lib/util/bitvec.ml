@@ -13,6 +13,8 @@ let get t i =
   if i < 0 || i >= Array.length t then invalid_arg "Bitvec.get";
   t.(i)
 
+let unsafe_get (t : t) i = Array.unsafe_get t i
+
 let set t i v =
   if i < 0 || i >= Array.length t then invalid_arg "Bitvec.set";
   let t' = Array.copy t in

@@ -18,6 +18,11 @@ val init : int -> (int -> bool) -> t
 val get : t -> int -> bool
 (** Raises [Invalid_argument] when out of range. *)
 
+val unsafe_get : t -> int -> bool
+(** [get] without the bounds check, for hot loops (the GMW evaluator reads
+    every input share once per gate) that have already validated lengths.
+    Out-of-range indices are undefined behaviour. *)
+
 val set : t -> int -> bool -> t
 (** Functional update. *)
 

@@ -17,6 +17,22 @@ let test_nat_of_int_negative () =
   Alcotest.check_raises "negative" (Invalid_argument "Nat.of_int: negative")
     (fun () -> ignore (Nat.of_int (-1)))
 
+let test_nat_hash () =
+  (* Hashtbl contract: equal values (however constructed) hash equally,
+     and the hash is nonnegative. *)
+  let t = prng () in
+  for _ = 1 to 200 do
+    let a = Dstress_util.Prng.int t 1_000_000_000 in
+    let b = Dstress_util.Prng.int t 1_000_000 in
+    let x = Nat.of_int (a + b) in
+    let y = Nat.add (Nat.of_int a) (Nat.of_int b) in
+    Alcotest.(check bool) "values equal" true (Nat.equal x y);
+    Alcotest.(check int) "hashes equal" (Nat.hash x) (Nat.hash y);
+    Alcotest.(check bool) "nonnegative" true (Nat.hash x >= 0)
+  done;
+  Alcotest.(check bool) "0 and 1 distinct" true
+    (Nat.hash Nat.zero <> Nat.hash Nat.one)
+
 let test_nat_compare () =
   let a = Nat.of_int 100 and b = Nat.of_int 200 in
   Alcotest.(check bool) "lt" true (Nat.compare a b < 0);
@@ -356,6 +372,7 @@ let () =
           Alcotest.test_case "of/to int" `Quick test_nat_of_to_int;
           Alcotest.test_case "of_int negative" `Quick test_nat_of_int_negative;
           Alcotest.test_case "compare" `Quick test_nat_compare;
+          Alcotest.test_case "hash" `Quick test_nat_hash;
           Alcotest.test_case "add/sub" `Quick test_nat_add_sub;
           Alcotest.test_case "sub negative" `Quick test_nat_sub_negative;
           Alcotest.test_case "mul known" `Quick test_nat_mul_known;

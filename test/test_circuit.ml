@@ -81,6 +81,58 @@ let test_stats () =
   Alcotest.(check int) "xors" 1 s.Circuit.xors;
   Alcotest.(check int) "nots" 1 s.Circuit.nots
 
+let test_stats_matches_direct_counts () =
+  (* stats is a single fused pass; cross-check it against the per-kind
+     fold and the dedicated and_count/and_depth entry points on random
+     topologically-valid circuits. *)
+  let seed = ref 12345 in
+  let rand bound =
+    seed := ((!seed * 1103515245) + 12345) land 0x3FFFFFFF;
+    !seed mod bound
+  in
+  for _ = 1 to 5 do
+    let num_inputs = 3 + rand 6 in
+    let rev = ref [] and wires = ref 0 in
+    let push g =
+      rev := g :: !rev;
+      incr wires
+    in
+    for k = 0 to num_inputs - 1 do
+      push (Circuit.Input k)
+    done;
+    for _ = 1 to 40 + rand 40 do
+      let w () = rand !wires in
+      match rand 8 with
+      | 0 -> push (Circuit.Const (rand 2 = 1))
+      | 1 | 2 -> push (Circuit.Not (w ()))
+      | 3 | 4 -> push (Circuit.Xor (w (), w ()))
+      | _ -> push (Circuit.And (w (), w ()))
+    done;
+    let c =
+      Circuit.make ~gates:(Array.of_list (List.rev !rev)) ~num_inputs
+        ~outputs:[| !wires - 1 |]
+    in
+    let s = Circuit.stats c in
+    let count p =
+      Array.fold_left (fun acc g -> if p g then acc + 1 else acc) 0 c.Circuit.gates
+    in
+    Alcotest.(check int) "gates" (Array.length c.Circuit.gates) s.Circuit.gates;
+    Alcotest.(check int) "inputs"
+      (count (function Circuit.Input _ -> true | _ -> false))
+      s.Circuit.inputs;
+    Alcotest.(check int) "ands vs and_count" (Circuit.and_count c) s.Circuit.ands;
+    Alcotest.(check int) "ands vs fold"
+      (count (function Circuit.And _ -> true | _ -> false))
+      s.Circuit.ands;
+    Alcotest.(check int) "xors"
+      (count (function Circuit.Xor _ -> true | _ -> false))
+      s.Circuit.xors;
+    Alcotest.(check int) "nots"
+      (count (function Circuit.Not _ -> true | _ -> false))
+      s.Circuit.nots;
+    Alcotest.(check int) "depth vs and_depth" (Circuit.and_depth c) s.Circuit.depth
+  done
+
 (* ------------------------------------------------------------------ *)
 (* Builder simplifications                                             *)
 (* ------------------------------------------------------------------ *)
@@ -324,6 +376,7 @@ let () =
           Alcotest.test_case "eval wrong arity" `Quick test_eval_wrong_arity;
           Alcotest.test_case "and depth" `Quick test_and_depth;
           Alcotest.test_case "stats" `Quick test_stats;
+          Alcotest.test_case "stats single pass" `Quick test_stats_matches_direct_counts;
         ] );
       ( "builder",
         [

@@ -269,6 +269,18 @@ let test_exp_elgamal_multi_bandwidth () =
 let test_table_size () =
   Alcotest.(check int) "size" 2001 (Exp_elgamal.Table.size table)
 
+let test_table_lookup_hit_and_miss () =
+  (* The Nat-keyed table must resolve exactly g^v for v in range and
+     nothing else. *)
+  List.iter
+    (fun v ->
+      let elt = Group.pow_g grp (Nat.of_int v) in
+      Alcotest.(check (option int)) (Printf.sprintf "hit %d" v) (Some v)
+        (Exp_elgamal.Table.lookup table elt))
+    [ 0; 1; 42; 999; 1000 ];
+  let outside = Group.pow_g grp (Nat.of_int 1001) in
+  Alcotest.(check (option int)) "miss" None (Exp_elgamal.Table.lookup table outside)
+
 (* ------------------------------------------------------------------ *)
 (* Base OT                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -406,6 +418,89 @@ let test_ot_ext_amortized_traffic () =
   let per_ot = float_of_int (Meter.total meter) /. float_of_int m in
   let base_per_ot = float_of_int (3 * Group.element_bytes grp + 2) in
   Alcotest.(check bool) "amortized cheaper than base" true (per_ot < base_per_ot)
+
+let test_ot_ext_words_matches_bits () =
+  (* extend_words on w-lane words must agree lane-for-lane with
+     extend_bits on the flattened bit stream, in both backends, and
+     consume the same session state. *)
+  List.iter
+    (fun mode ->
+      let session_of tag =
+        Ot_ext.setup ~mode grp (Meter.create ()) ~sender_prg:(prg (tag ^ "-s"))
+          ~receiver_prg:(prg (tag ^ "-r"))
+      in
+      let t = prg "extw-data" in
+      let m = 17 and width = 5 in
+      let word () =
+        let w = ref 0L in
+        for lane = 0 to width - 1 do
+          if Prg.bool t then w := Int64.logor !w (Int64.shift_left 1L lane)
+        done;
+        !w
+      in
+      let pairs = Array.init m (fun _ -> (word (), word ())) in
+      let choices = Array.init m (fun _ -> word ()) in
+      let sw = session_of "extw" and sb = session_of "extw" in
+      let out = Ot_ext.extend_words sw (Meter.create ()) ~width ~pairs ~choices in
+      let lane_bit w lane = Int64.logand (Int64.shift_right_logical w lane) 1L = 1L in
+      (* Lanes of gate g occupy positions g*width .. g*width+width-1. *)
+      let flat f = Array.init (m * width) (fun i -> f (i / width) (i mod width)) in
+      let bit_pairs =
+        flat (fun g lane ->
+            let x0, x1 = pairs.(g) in
+            (lane_bit x0 lane, lane_bit x1 lane))
+      in
+      let bit_choices = flat (fun g lane -> lane_bit choices.(g) lane) in
+      let bmeter = Meter.create () in
+      let bits = Ot_ext.extend_bits sb bmeter ~pairs:bit_pairs ~choices:bit_choices in
+      Array.iteri
+        (fun g w ->
+          for lane = 0 to width - 1 do
+            Alcotest.(check bool)
+              (Printf.sprintf "gate %d lane %d" g lane)
+              bits.((g * width) + lane)
+              (lane_bit w lane)
+          done;
+          (* Lanes beyond width must be masked off. *)
+          Alcotest.(check int64) (Printf.sprintf "gate %d high lanes" g) 0L
+            (Int64.shift_right_logical w width))
+        out;
+      Alcotest.(check int) "ots consumed" (Ot_ext.ots_performed sb)
+        (Ot_ext.ots_performed sw))
+    [ Ot_ext.Simulation; Ot_ext.Crypto ]
+
+let test_ot_ext_words_metering () =
+  (* A word batch must meter exactly like the equivalent flat bit batch:
+     kappa * ceil(total/8) receiver->sender, 2 * ceil(total/8) back. *)
+  let session =
+    Ot_ext.setup ~mode:Ot_ext.Simulation grp (Meter.create ()) ~sender_prg:(prg "extwm-s")
+      ~receiver_prg:(prg "extwm-r")
+  in
+  let m = 9 and width = 7 in
+  let meter = Meter.create () in
+  ignore
+    (Ot_ext.extend_words session meter ~width
+       ~pairs:(Array.make m (0L, Int64.minus_one))
+       ~choices:(Array.make m 0L));
+  let total = m * width in
+  let col = Ot_ext.kappa * ((total + 7) / 8) and row = 2 * ((total + 7) / 8) in
+  Alcotest.(check int) "metered" (col + row) (Meter.total meter)
+
+let test_ot_ext_words_rejects_bad_width () =
+  let session =
+    Ot_ext.setup ~mode:Ot_ext.Simulation grp (Meter.create ()) ~sender_prg:(prg "extwv-s")
+      ~receiver_prg:(prg "extwv-r")
+  in
+  List.iter
+    (fun width ->
+      Alcotest.check_raises
+        (Printf.sprintf "width %d" width)
+        (Invalid_argument "Ot_ext.extend_words: width must be in [1, 64]")
+        (fun () ->
+          ignore
+            (Ot_ext.extend_words session (Meter.create ()) ~width ~pairs:[| (0L, 0L) |]
+               ~choices:[| 0L |])))
+    [ 0; 65 ]
 
 
 (* ------------------------------------------------------------------ *)
@@ -605,6 +700,7 @@ let () =
           Alcotest.test_case "multi recipient" `Quick test_exp_elgamal_multi_recipient;
           Alcotest.test_case "multi bandwidth" `Quick test_exp_elgamal_multi_bandwidth;
           Alcotest.test_case "table size" `Quick test_table_size;
+          Alcotest.test_case "table lookup" `Quick test_table_lookup_hit_and_miss;
         ] );
       ( "base-ot",
         [
@@ -639,6 +735,9 @@ let () =
           Alcotest.test_case "multiple batches" `Quick test_ot_ext_multiple_batches;
           Alcotest.test_case "simulation mode" `Quick test_ot_ext_simulation_mode;
           Alcotest.test_case "amortized traffic" `Quick test_ot_ext_amortized_traffic;
+          Alcotest.test_case "word lanes match bits" `Quick test_ot_ext_words_matches_bits;
+          Alcotest.test_case "word metering" `Quick test_ot_ext_words_metering;
+          Alcotest.test_case "word width validation" `Quick test_ot_ext_words_rejects_bad_width;
         ] );
       ("properties", qsuite);
     ]
