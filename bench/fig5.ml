@@ -12,6 +12,7 @@
 open Bench_util
 module Engine = Dstress_runtime.Engine
 module Graph = Dstress_runtime.Graph
+module Obs = Dstress_obs.Obs
 module En_program = Dstress_risk.En_program
 module Egj_program = Dstress_risk.Egj_program
 module Topology = Dstress_graphgen.Topology
@@ -36,7 +37,10 @@ let run_en ~iterations ~k topo prng =
   let d = max 1 (Graph.max_degree graph) in
   let p = En_program.make ~l ~degree:d ~iterations () in
   let states = En_program.encode_instance inst ~graph ~l ~degree:d ~scale:0.25 in
-  let cfg = Engine.default_config grp ~k ~degree_bound:d ~seed:"fig5-en" in
+  let cfg =
+    { (Engine.default_config grp ~k ~degree_bound:d ~seed:"fig5-en") with
+      Engine.obs_level = Obs.Basic }
+  in
   Engine.run cfg p ~graph ~initial_states:states
 
 let run_egj ~iterations ~k topo prng =
@@ -50,18 +54,31 @@ let run_egj ~iterations ~k topo prng =
   let d = max 1 (Graph.max_degree graph) in
   let p = Egj_program.make ~l:12 ~frac:5 ~degree:d ~iterations () in
   let states = Egj_program.encode_instance inst ~graph ~l:12 ~frac:5 ~degree:d ~scale:4.0 in
-  let cfg = Engine.default_config grp ~k ~degree_bound:d ~seed:"fig5-egj" in
+  let cfg =
+    { (Engine.default_config grp ~k ~degree_bound:d ~seed:"fig5-egj") with
+      Engine.obs_level = Obs.Basic }
+  in
   Engine.run cfg p ~graph ~initial_states:states
 
+(* Wall-clock comes from the report (it is deliberately kept out of the
+   deterministic registry); every byte figure is read back from the run's
+   metrics registry, exercising the same counters `--metrics` exports. *)
 let print_run label ~block (r : Engine.report) =
+  let m = Obs.metrics r.Engine.obs in
   let phase_s p = List.assoc p r.Engine.phase_seconds in
+  let phase_mb p =
+    float_of_int (Obs.Metrics.counter m ("phase." ^ Engine.phase_name p ^ ".bytes"))
+    /. 1048576.0
+  in
   Printf.printf
-    "%-6s %8d | init %6.2f comp %8.2f comm %8.2f agg %7.2f s | total %8.2f s | %8.2f MB/node\n"
+    "%-6s %8d | init %6.2f comp %8.2f comm %8.2f agg %7.2f s | total %8.2f s | %8.2f \
+     MB/node (comp %.2f comm %.2f MB)\n"
     label block
     (phase_s Engine.Initialization) (phase_s Engine.Computation)
     (phase_s Engine.Communication) (phase_s Engine.Aggregation)
     (List.fold_left (fun a (_, s) -> a +. s) 0.0 r.Engine.phase_seconds)
-    (Dstress_mpc.Traffic.mean_per_node r.Engine.traffic /. 1048576.0)
+    (Obs.Metrics.sum m "traffic.mean_node_bytes" /. 1048576.0)
+    (phase_mb Engine.Computation) (phase_mb Engine.Communication)
 
 let run ~quick () =
   header "Figure 5: end-to-end EN and EGJ runs vs block size";

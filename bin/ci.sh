@@ -23,4 +23,20 @@ DSTRESS_JOBS=4 dune runtest --force
 echo "== bench smoke (fig3-left + executor + gmw-slice, quick) =="
 dune exec bench/main.exe -- --quick fig3-left executor gmw-slice
 
+# Observability smoke: the same faulty run under both executors must
+# export byte-identical trace/metrics files, and both must parse as JSON.
+echo "== obs smoke (trace/metrics determinism across executors) =="
+OBS_TMP="$(mktemp -d)"
+trap 'rm -rf "$OBS_TMP"' EXIT
+for jobs in 1 4; do
+  dune exec bin/dstress.exe -- stress --core 2 --periphery 3 -i 2 \
+    --fault-crashes 2 --jobs "$jobs" --slice-width 64 --obs-level full \
+    --trace "$OBS_TMP/trace.$jobs.json" --metrics "$OBS_TMP/metrics.$jobs.json" \
+    > /dev/null
+done
+cmp "$OBS_TMP/trace.1.json" "$OBS_TMP/trace.4.json"
+cmp "$OBS_TMP/metrics.1.json" "$OBS_TMP/metrics.4.json"
+dune exec test/json_check.exe -- \
+  "$OBS_TMP/trace.1.json" "$OBS_TMP/metrics.1.json"
+
 echo "CI OK"

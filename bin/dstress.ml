@@ -111,6 +111,63 @@ let slice_width_arg =
            selects the scalar per-vertex evaluator; results are identical \
            for every value.")
 
+(* ------------------------------------------------------------------ *)
+(* Observability arguments                                              *)
+(* ------------------------------------------------------------------ *)
+
+module Obs = Dstress_obs.Obs
+
+let obs_level_arg =
+  Arg.(
+    value
+    & opt (enum [ ("off", Obs.Off); ("basic", Obs.Basic); ("full", Obs.Full) ]) Obs.Off
+    & info [ "obs-level" ] ~docv:"LEVEL"
+        ~doc:
+          "Observability level: off (zero-cost), basic (metrics + phase spans), full \
+           (adds per-vertex, per-transfer and per-attempt spans). Implied full when \
+           --trace or --metrics is given without an explicit level.")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write the run's span trace as Chrome trace_event JSON (load it in \
+           about://tracing or Perfetto). The timeline is simulated — 1 tick per wire \
+           byte — so the file is bit-identical across --jobs and --slice-width.")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write the run's metrics registry to FILE: CSV when FILE ends in .csv, \
+           JSON otherwise.")
+
+(* --trace/--metrics without --obs-level means the user wants the data:
+   collect everything rather than silently writing empty exports. *)
+let effective_obs_level level ~trace ~metrics =
+  if level = Obs.Off && (trace <> None || metrics <> None) then Obs.Full else level
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let export_obs ~trace ~metrics report =
+  let obs = report.Engine.obs in
+  Option.iter (fun path -> write_file path (Obs.trace_json obs)) trace;
+  Option.iter
+    (fun path ->
+      let contents =
+        if Filename.check_suffix path ".csv" then Obs.metrics_csv obs
+        else Obs.metrics_json obs
+      in
+      write_file path contents)
+    metrics
+
 (* Fault plans are drawn against the concrete graph, so this runs after
    graph construction, just before the engine starts. *)
 let faulty_config cfg ~graph ~iterations ~seed ~fault_rate ~fault_crashes ~max_retries
@@ -147,8 +204,9 @@ let make_network ~seed ~core ~periphery ~shock =
   (Banking.shock_en prng inst topo shock, topo)
 
 let stress model seed grpname k core periphery iterations epsilon shock reference_only
-    fault_rate fault_crashes max_retries backoff jobs slice_width =
+    fault_rate fault_crashes max_retries backoff jobs slice_width obs_level trace metrics =
   let grp = Group.by_name grpname in
+  let obs_level = effective_obs_level obs_level ~trace ~metrics in
   let inst, _ = make_network ~seed ~core ~periphery ~shock in
   match model with
   | `En ->
@@ -165,13 +223,15 @@ let stress model seed grpname k core periphery iterations epsilon shock referenc
           faulty_config
             { (Engine.default_config grp ~k ~degree_bound:degree ~seed:(string_of_int seed)) with
               Engine.executor = executor_of_jobs jobs;
-              slice_width }
+              slice_width;
+              obs_level }
             ~graph ~iterations ~seed ~fault_rate ~fault_crashes ~max_retries ~backoff
         in
         let report = Engine.run cfg p ~graph ~initial_states:states in
         Printf.printf "DStress noised TDS:   $%.2f\n"
           (En_program.decode_output ~scale report.Engine.output);
-        Format.printf "%a@." Engine.pp_report report
+        Format.printf "%a@." Engine.pp_report report;
+        export_obs ~trace ~metrics report
       end
   | `Egj ->
       let prng = Prng.of_int seed in
@@ -195,13 +255,15 @@ let stress model seed grpname k core periphery iterations epsilon shock referenc
           faulty_config
             { (Engine.default_config grp ~k ~degree_bound:degree ~seed:(string_of_int seed)) with
               Engine.executor = executor_of_jobs jobs;
-              slice_width }
+              slice_width;
+              obs_level }
             ~graph ~iterations ~seed ~fault_rate ~fault_crashes ~max_retries ~backoff
         in
         let report = Engine.run cfg p ~graph ~initial_states:states in
         Printf.printf "DStress noised TDS:   $%.2f\n"
           (Egj_program.decode_output ~scale ~frac report.Engine.output);
-        Format.printf "%a@." Engine.pp_report report
+        Format.printf "%a@." Engine.pp_report report;
+        export_obs ~trace ~metrics report
       end
 
 let model_arg =
@@ -217,7 +279,8 @@ let stress_cmd =
     Term.(
       const stress $ model_arg $ seed_arg $ group_arg $ k_arg $ core_arg $ periphery_arg
       $ iterations_arg $ epsilon_arg $ shock_arg $ reference_only_arg $ fault_rate_arg
-      $ fault_crashes_arg $ max_retries_arg $ backoff_arg $ jobs_arg $ slice_width_arg)
+      $ fault_crashes_arg $ max_retries_arg $ backoff_arg $ jobs_arg $ slice_width_arg
+      $ obs_level_arg $ trace_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* project command                                                     *)

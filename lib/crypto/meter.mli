@@ -1,8 +1,16 @@
 (** Two-way traffic meter for a pair of protocol parties.
 
-    The evaluation in the paper reports per-node traffic for every protocol
-    phase; every simulated exchange in this code base is therefore metered
-    at the point where bytes would cross the wire. *)
+    @deprecated This is the legacy, phase-blind accounting primitive: a
+    bare byte-pair with no notion of {e which} protocol phase (or span)
+    the bytes belong to, which is why every consumer immediately drains it
+    into a {!Dstress_mpc.Traffic} matrix and resets it. New code should
+    emit through the structured observability layer instead —
+    {!Dstress_obs.Obs.Metrics} for counters and {!Dstress_obs.Obs} spans
+    for phase attribution; see {!Dstress_mpc.Traffic.observe} and
+    {!Dstress_mpc.Gmw.observe} for the migrated patterns. [Meter] remains
+    only as the low-level currency of the pairwise crypto primitives
+    ({!Ot}, {!Ot_ext}, {!Garble}), whose call sites are metered and then
+    folded into phase-attributed accounting by their callers. *)
 
 type t = { mutable a_to_b : int; mutable b_to_a : int }
 
@@ -10,5 +18,10 @@ val create : unit -> t
 val add_a_to_b : t -> int -> unit
 val add_b_to_a : t -> int -> unit
 val total : t -> int
+
 val reset : t -> unit
+(** @deprecated Resetting in place is what loses attribution — prefer one
+    short-lived meter per exchange, drained into {!Dstress_mpc.Traffic}
+    (see [Gmw.drain_meter]) or into {!Dstress_obs.Obs.Metrics}. *)
+
 val pp : Format.formatter -> t -> unit

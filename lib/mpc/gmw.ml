@@ -302,6 +302,13 @@ let reveal s shares =
   done;
   Sharing.reconstruct shares
 
+let observe s obs =
+  let module Obs = Dstress_obs.Obs in
+  Obs.incr obs "mpc.sessions";
+  Obs.incr obs ~by:s.rounds "mpc.rounds";
+  Obs.incr obs ~by:s.and_gates "mpc.and_gates";
+  Obs.incr obs ~by:s.ots "mpc.ots"
+
 let traffic s = s.traffic
 
 let reset_traffic s = Traffic.clear s.traffic

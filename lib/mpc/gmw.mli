@@ -70,6 +70,13 @@ val eval_many :
 val reveal : session -> Dstress_util.Bitvec.t array -> Dstress_util.Bitvec.t
 (** Open shared values by all-to-all broadcast of shares (metered). *)
 
+val observe : session -> Dstress_obs.Obs.t -> unit
+(** Fold the session's cumulative counters into a metrics registry:
+    increments [mpc.sessions] by one and [mpc.rounds], [mpc.and_gates],
+    [mpc.ots] by the session totals. The engine calls this once per
+    session at the end of a run, in a fixed session order, so the registry
+    is deterministic. *)
+
 val traffic : session -> Traffic.t
 (** Cumulative traffic matrix (live reference; use {!reset_traffic} to
     start a fresh measurement window). *)

@@ -76,6 +76,20 @@ let iter_nonzero t f =
     (fun i v -> if v <> 0 then f ~src:(i / t.n) ~dst:(i mod t.n) v)
     t.bytes
 
+let observe ?(prefix = "traffic") t obs =
+  let module Obs = Dstress_obs.Obs in
+  Obs.incr obs ~by:(total t) (prefix ^ ".bytes");
+  Obs.incr obs ~by:(external_total t) (prefix ^ ".external_bytes");
+  Obs.set obs (prefix ^ ".max_node_bytes") (float_of_int (max_per_node t));
+  Obs.set obs (prefix ^ ".mean_node_bytes") (mean_per_node t);
+  if Obs.detailed obs then
+    for p = 0 to t.n - 1 do
+      Obs.set obs (Printf.sprintf "%s.node.%03d.sent" prefix p) (float_of_int (sent_by t p));
+      Obs.set obs
+        (Printf.sprintf "%s.node.%03d.received" prefix p)
+        (float_of_int (received_by t p))
+    done
+
 let pp ppf t =
   Format.fprintf ppf "@[<v>traffic over %d parties: %d B total, max/node %d B@]" t.n
     (total t) (max_per_node t)

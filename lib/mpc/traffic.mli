@@ -57,4 +57,11 @@ val iter_nonzero : t -> (src:int -> dst:int -> int -> unit) -> unit
     External bytes ({!add_external}) are not visited — read them with
     {!external_to}. *)
 
+val observe : ?prefix:string -> t -> Dstress_obs.Obs.t -> unit
+(** Publish the matrix into a metrics registry under [prefix] (default
+    ["traffic"]): total and external byte counters plus max/mean per-node
+    gauges, and — at {!Dstress_obs.Obs.Full} — per-node sent/received
+    gauges ([<prefix>.node.%03d.sent/.received]). This is the phase-attributed
+    replacement for reading the matrix fields by hand. *)
+
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,31 @@
+(** Minimal JSON tree, printer and parser.
+
+    The observability exporters ({!Obs.trace_json}, {!Obs.metrics_json})
+    emit Chrome [trace_event] files and flat metrics dumps; nothing else in
+    the dependency closure provides JSON, so this module carries just
+    enough of RFC 8259 for those formats: a value tree, a deterministic
+    printer (object fields in the order given, floats via ["%.12g"],
+    non-finite floats as [null]) and a strict recursive-descent parser used
+    by the test suite and [bin/ci.sh] to smoke-check exported files. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact rendering (no insignificant whitespace), deterministic: equal
+    trees print to equal strings. *)
+
+val parse : string -> (t, string) result
+(** Strict parse of one JSON document (trailing whitespace allowed).
+    [Error msg] carries a byte offset. Numbers parse to [Int] when they
+    contain no fraction/exponent and fit in [int], to [Num] otherwise;
+    [\uXXXX] escapes decode to UTF-8. *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] on other constructors. *)

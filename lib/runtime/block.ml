@@ -58,19 +58,30 @@ let derive_prg ~seed purpose = Prg.of_string (seed ^ ":" ^ purpose)
 
 let derive_prng ~seed purpose = Prng.create (Prg.seed64 (seed ^ ":" ^ purpose))
 
-let reshare ~prg ~kp1 ~ebytes ~traffic ~src_blocks ~dst_members values =
+let reshare ?(obs = Dstress_obs.Obs.off) ~prg ~kp1 ~ebytes ~traffic ~src_blocks
+    ~dst_members values =
   let payload_bytes bits = ((bits + 7) / 8) + ebytes in
-  List.map2
-    (fun src_block (shares : Bitvec.t array) ->
-      let bits = Bitvec.length shares.(0) in
-      let pieces = Array.map (fun s -> Sharing.subshare prg ~parties:kp1 s) shares in
-      Array.iteri
-        (fun x _ ->
-          Array.iter
-            (fun y_node ->
-              Traffic.add traffic ~src:src_block.(x) ~dst:y_node (payload_bytes bits))
-            dst_members)
-        pieces;
-      Array.init kp1 (fun y ->
-          Bitvec.xor_all (Array.to_list (Array.map (fun p -> p.(y)) pieces))))
-    src_blocks values
+  (* Traffic.total is O(parties^2); skip the delta when nothing collects. *)
+  let live = Dstress_obs.Obs.enabled obs in
+  let before = if live then Traffic.total traffic else 0 in
+  let result =
+    List.map2
+      (fun src_block (shares : Bitvec.t array) ->
+        let bits = Bitvec.length shares.(0) in
+        let pieces = Array.map (fun s -> Sharing.subshare prg ~parties:kp1 s) shares in
+        Array.iteri
+          (fun x _ ->
+            Array.iter
+              (fun y_node ->
+                Traffic.add traffic ~src:src_block.(x) ~dst:y_node (payload_bytes bits))
+              dst_members)
+          pieces;
+        Array.init kp1 (fun y ->
+            Bitvec.xor_all (Array.to_list (Array.map (fun p -> p.(y)) pieces))))
+      src_blocks values
+  in
+  if live then begin
+    Dstress_obs.Obs.incr obs ~by:(List.length values) "reshare.values";
+    Dstress_obs.Obs.incr obs ~by:(Traffic.total traffic - before) "reshare.bytes"
+  end;
+  result

@@ -64,6 +64,7 @@ val derive_prng : seed:string -> string -> Dstress_util.Prng.t
     [Hashtbl.hash] seeding it replaces. *)
 
 val reshare :
+  ?obs:Dstress_obs.Obs.t ->
   prg:Dstress_crypto.Prg.t ->
   kp1:int ->
   ebytes:int ->
@@ -76,4 +77,6 @@ val reshare :
     block: each source member subshares its share and sends one piece to
     each destination member, who XORs everything received (§3.6). Returns
     the destination members' shares, one Bitvec per member per value; the
-    wire bytes are charged to [traffic] under global node ids. *)
+    wire bytes are charged to [traffic] under global node ids, and counted
+    in the [reshare.values] / [reshare.bytes] metrics of [obs] (default:
+    the no-op collector). *)

@@ -11,6 +11,7 @@ module Setup = Dstress_transfer.Setup
 module Protocol = Dstress_transfer.Protocol
 module Noise_circuit = Dstress_dp.Noise_circuit
 module Fault = Dstress_faults.Fault
+module Obs = Dstress_obs.Obs
 
 type aggregation = Single_block | Two_level of int
 
@@ -28,6 +29,7 @@ type config = {
   backoff : float;
   executor : Executor.t;
   slice_width : int;
+  obs_level : Obs.level;
 }
 
 (* How much wider the escalation lookup table is than the regular one:
@@ -50,6 +52,7 @@ let default_config ?(seed = "dstress") grp ~k ~degree_bound =
     backoff = 0.05;
     executor = Executor.of_env ();
     slice_width = 64;
+    obs_level = Obs.Off;
   }
 
 let validate_config cfg =
@@ -94,6 +97,7 @@ type report = {
   mpc_and_gates : int;
   mpc_ots : int;
   update_stats : Circuit.stats;
+  obs : Obs.t;
 }
 
 (* Total simulated wait for [retries] exponential-backoff retransmissions
@@ -128,8 +132,10 @@ let run cfg p ~graph ~initial_states =
     initial_states;
   if Graph.max_degree graph > d then invalid_arg "Engine.run: vertex degree exceeds bound";
   let exec = cfg.executor and seed = cfg.seed in
-  let acc = Phase.Accounting.create ~parties:n in
+  let obs = Obs.create ~level:cfg.obs_level () in
+  let acc = Phase.Accounting.create ~obs ~parties:n () in
   let global = Phase.Accounting.traffic acc in
+  Obs.enter obs "run";
   let ebytes = Group.element_bytes cfg.grp in
   let injector = Fault.Injector.create cfg.fault_plan in
   (* --- Setup --------------------------------------------------- *)
@@ -177,8 +183,10 @@ let run cfg p ~graph ~initial_states =
           ~message_bits:l ~vertex:i ~members:(Setup.block_of setup i))
   in
   (* --- Initialization ------------------------------------------ *)
-  Phase.run_tasks exec acc Initialization ~count:n
-    ~task:(fun i ->
+  Phase.run_tasks exec acc Initialization
+    ~task_label:(fun i -> Printf.sprintf "init:%d" i)
+    ~count:n
+    ~task:(fun _obs i ->
       let traffic = Traffic.create n in
       let b = blocks.(i) in
       let prg = Block.derive_prg ~seed (Printf.sprintf "init:%d" i) in
@@ -190,7 +198,8 @@ let run cfg p ~graph ~initial_states =
         (fun member -> if member <> i then Traffic.add traffic ~src:i ~dst:member bytes)
         b.Block.members;
       { Phase.traffic; payload = () })
-    ~merge:(fun _ () -> ());
+    ~merge:(fun _ () -> ())
+    ();
   let failures = ref 0 and recovered = ref 0 and unrecovered = ref 0 in
   let retries = ref 0 and crash_recoveries = ref 0 and retry_epsilon = ref 0.0 in
   (* --- Computation step ----------------------------------------- *)
@@ -204,7 +213,7 @@ let run cfg p ~graph ~initial_states =
   (* Crash handoff for vertex [i]: re-share every value block [i] holds,
      once per crashed member. Charges re-sharing traffic to [traffic] and
      returns the number of recovery events. *)
-  let recover_crashes ~round ~traffic i crashed_members =
+  let recover_crashes ~obs ~round ~traffic i crashed_members =
     let b = blocks.(i) in
     List.iter
       (fun m ->
@@ -212,7 +221,7 @@ let run cfg p ~graph ~initial_states =
         let values = b.Block.state :: Array.to_list b.Block.inbox in
         let src_blocks = List.map (fun _ -> b.Block.members) values in
         match
-          Block.reshare ~prg ~kp1 ~ebytes ~traffic ~src_blocks
+          Block.reshare ~obs ~prg ~kp1 ~ebytes ~traffic ~src_blocks
             ~dst_members:b.Block.members values
         with
         | st :: msgs ->
@@ -228,25 +237,41 @@ let run cfg p ~graph ~initial_states =
           Array.to_list blocks.(i).Block.members
           |> List.filter (fun m -> Fault.Injector.crash_starting injector ~round ~node:m))
     in
+    (* Crash-recovery merge: replayed in vertex order on the root collector,
+       so the counters and recovery ticks are identical for every executor
+       and slice grouping. *)
+    let merge_events _ events =
+      Array.iter
+        (fun e ->
+          if e > 0 then begin
+            crash_recoveries := !crash_recoveries + e;
+            Obs.incr obs ~by:e "faults.crash_recoveries";
+            Phase.Accounting.add_recovery acc Computation (float_of_int e *. cfg.backoff)
+          end)
+        events
+    in
     if cfg.slice_width = 1 then
-      (* Scalar path: one task per vertex, one scalar GMW evaluation each. *)
+      (* Scalar path: one task per vertex, one scalar GMW evaluation each.
+         The vertex span covers the vertex's recovery re-sharing plus its
+         GMW traffic, matching the sliced path's per-vertex attribution. *)
       Phase.run_tasks exec acc Computation ~count:n
-        ~task:(fun i ->
+        ~task:(fun obs i ->
           let traffic = Traffic.create n in
           let b = blocks.(i) in
-          let events = recover_crashes ~round ~traffic i crashed.(i) in
+          if Obs.detailed obs then Obs.enter obs (Printf.sprintf "vertex:%d" i);
+          let events = recover_crashes ~obs ~round ~traffic i crashed.(i) in
           let out =
             Gmw.eval b.Block.session update_c ~input_shares:(Block.gather_inputs b)
           in
           Block.scatter_outputs b out;
           merge_session_traffic traffic b.Block.session b.Block.members;
+          if Obs.enabled obs then begin
+            Obs.advance obs (Traffic.total traffic);
+            if Obs.detailed obs then Obs.leave obs;
+            Obs.advance obs (Phase.recovery_ticks (float_of_int events *. cfg.backoff))
+          end;
           { Phase.traffic; payload = [| events |] })
-        ~merge:(fun _ events ->
-          Array.iter
-            (fun e ->
-              crash_recoveries := !crash_recoveries + e;
-              Phase.Accounting.add_recovery acc Computation (float_of_int e *. cfg.backoff))
-            events)
+        ~merge:merge_events ()
     else begin
       (* Bitsliced path: every vertex runs the same update circuit, so a
          task takes a contiguous group of vertices and evaluates them as
@@ -263,29 +288,61 @@ let run cfg p ~graph ~initial_states =
       in
       let groups = (n + group_size - 1) / group_size in
       Phase.run_tasks exec acc Computation ~count:groups
-        ~task:(fun gi ->
+        ~task:(fun obs gi ->
           let lo = gi * group_size in
           let len = min group_size (n - lo) in
           let traffic = Traffic.create n in
-          let events =
-            Array.init len (fun o -> recover_crashes ~round ~traffic (lo + o) crashed.(lo + o))
-          in
-          let sessions = Array.init len (fun o -> blocks.(lo + o).Block.session) in
-          let inputs = Array.init len (fun o -> Block.gather_inputs blocks.(lo + o)) in
-          let outs = Gmw.eval_many sessions update_c ~input_shares:inputs in
-          Array.iteri
-            (fun o out ->
-              let b = blocks.(lo + o) in
-              Block.scatter_outputs b out;
-              merge_session_traffic traffic b.Block.session b.Block.members)
-            outs;
-          { Phase.traffic; payload = events })
-        ~merge:(fun _ events ->
-          Array.iter
-            (fun e ->
-              crash_recoveries := !crash_recoveries + e;
-              Phase.Accounting.add_recovery acc Computation (float_of_int e *. cfg.backoff))
-            events)
+          if Obs.detailed obs then begin
+            (* Detailed tracing meters each vertex into its own matrix so
+               the emitted [vertex:<i>] spans (recovery re-sharing + GMW
+               bytes, then recovery ticks) are laid out exactly as on the
+               scalar path, for any slice grouping. *)
+            let vtraffic = Array.init len (fun _ -> Traffic.create n) in
+            let events =
+              Array.init len (fun o ->
+                  recover_crashes ~obs ~round ~traffic:vtraffic.(o) (lo + o) crashed.(lo + o))
+            in
+            let sessions = Array.init len (fun o -> blocks.(lo + o).Block.session) in
+            let inputs = Array.init len (fun o -> Block.gather_inputs blocks.(lo + o)) in
+            let outs = Gmw.eval_many sessions update_c ~input_shares:inputs in
+            Array.iteri
+              (fun o out ->
+                let b = blocks.(lo + o) in
+                Block.scatter_outputs b out;
+                Obs.enter obs (Printf.sprintf "vertex:%d" (lo + o));
+                merge_session_traffic vtraffic.(o) b.Block.session b.Block.members;
+                Obs.advance obs (Traffic.total vtraffic.(o));
+                Obs.leave obs;
+                Obs.advance obs
+                  (Phase.recovery_ticks (float_of_int events.(o) *. cfg.backoff));
+                Traffic.merge_into ~dst:traffic vtraffic.(o))
+              outs;
+            { Phase.traffic; payload = events }
+          end
+          else begin
+            let events =
+              Array.init len (fun o ->
+                  recover_crashes ~obs ~round ~traffic (lo + o) crashed.(lo + o))
+            in
+            let sessions = Array.init len (fun o -> blocks.(lo + o).Block.session) in
+            let inputs = Array.init len (fun o -> Block.gather_inputs blocks.(lo + o)) in
+            let outs = Gmw.eval_many sessions update_c ~input_shares:inputs in
+            Array.iteri
+              (fun o out ->
+                let b = blocks.(lo + o) in
+                Block.scatter_outputs b out;
+                merge_session_traffic traffic b.Block.session b.Block.members)
+              outs;
+            if Obs.enabled obs then begin
+              Obs.advance obs (Traffic.total traffic);
+              Array.iter
+                (fun e ->
+                  Obs.advance obs (Phase.recovery_ticks (float_of_int e *. cfg.backoff)))
+                events
+            end;
+            { Phase.traffic; payload = events }
+          end)
+        ~merge:merge_events ()
     end
   in
   (* --- Communication step ---------------------------------------- *)
@@ -300,7 +357,7 @@ let run cfg p ~graph ~initial_states =
       Array.map (fun (i, j) -> Fault.Injector.edge_faults injector ~round ~src:i ~dst:j) edges
     in
     Phase.run_tasks exec acc Communication ~count:(Array.length edges)
-      ~task:(fun e ->
+      ~task:(fun obs e ->
         let i, j = edges.(e) in
         let traffic = Traffic.create n in
         let delay =
@@ -323,11 +380,16 @@ let run cfg p ~graph ~initial_states =
         let shares = Array.copy blocks.(i).Block.outbox.(Graph.out_slot graph ~src:i ~dst:j) in
         let prg = Block.derive_prg ~seed (Printf.sprintf "xfer:%d:%d:%d" round i j) in
         let noise = Block.derive_prng ~seed (Printf.sprintf "noise:%d:%d:%d" round i j) in
+        if Obs.detailed obs then Obs.enter obs (Printf.sprintf "xfer:%d->%d" i j);
         let outcome =
-          Protocol.transfer ~recovery:(recovery ()) ?inject params ~prg ~noise ~traffic
+          Protocol.transfer ~recovery:(recovery ()) ?inject ~obs params ~prg ~noise ~traffic
             ~variant:Protocol.Final ~setup ~sender:i ~receiver:j
             ~neighbor_slot:(Graph.neighbor_slot graph ~owner:j ~other:i) ~shares
         in
+        if Obs.detailed obs then Obs.leave obs;
+        Obs.advance obs
+          (Phase.recovery_ticks
+             (delay +. backoff_seconds ~backoff:cfg.backoff ~retries:outcome.Protocol.retries));
         blocks.(j).Block.inbox.(Graph.in_slot graph ~src:i ~dst:j) <- outcome.Protocol.shares;
         { Phase.traffic; payload = (outcome, delay) })
       ~merge:(fun _ (o, delay) ->
@@ -338,13 +400,16 @@ let run cfg p ~graph ~initial_states =
         retry_epsilon := !retry_epsilon +. o.Protocol.extra_epsilon;
         Phase.Accounting.add_recovery acc Communication
           (delay +. backoff_seconds ~backoff:cfg.backoff ~retries:o.Protocol.retries))
+      ()
   in
   for it = 1 to p.Vertex_program.iterations do
-    compute ~round:it ();
-    communicate ~round:it ()
+    Obs.span obs (Printf.sprintf "round:%d" it) (fun () ->
+        compute ~round:it ();
+        communicate ~round:it ())
   done;
   (* Final computation step (§3.6): process the last round of messages. *)
-  compute ~round:(p.Vertex_program.iterations + 1) ();
+  Obs.span obs (Printf.sprintf "round:%d" (p.Vertex_program.iterations + 1)) (fun () ->
+      compute ~round:(p.Vertex_program.iterations + 1) ());
   (* --- Aggregation + noising ------------------------------------ *)
   let agg_sessions = ref [] in
   let eval_in_block ~label members circuit input_shares =
@@ -370,7 +435,7 @@ let run cfg p ~graph ~initial_states =
     let dst_members = setup.Setup.agg_block in
     let prg = Block.derive_prg ~seed "agg:reshare:root" in
     let reshared =
-      Block.reshare ~prg ~kp1 ~ebytes ~traffic:global ~src_blocks ~dst_members values
+      Block.reshare ~obs ~prg ~kp1 ~ebytes ~traffic:global ~src_blocks ~dst_members values
     in
     let noise = noise_input_shares (Block.derive_prg ~seed "agg:noise") ~kp1 in
     let session, out = eval_in_block ~label:"root" dst_members circuit
@@ -404,14 +469,16 @@ let run cfg p ~graph ~initial_states =
         (* Leaf groups sum their members' states independently; only the
            root combine (which adds the noise and opens the result) is a
            sequential step. *)
-        Phase.run_tasks exec acc Aggregation ~count:(Array.length groups)
-          ~task:(fun gi ->
+        Phase.run_tasks exec acc Aggregation
+          ~task_label:(fun gi -> Printf.sprintf "agg:leaf:%d" gi)
+          ~count:(Array.length groups)
+          ~task:(fun obs gi ->
             let traffic = Traffic.create n in
             let group = groups.(gi) in
             let leaf_members = blocks.(List.hd group).Block.members in
             let prg = Block.derive_prg ~seed (Printf.sprintf "agg:reshare:leaf:%d" gi) in
             let reshared =
-              Block.reshare ~prg ~kp1 ~ebytes ~traffic
+              Block.reshare ~obs ~prg ~kp1 ~ebytes ~traffic
                 ~src_blocks:(List.map (fun v -> blocks.(v).Block.members) group)
                 ~dst_members:leaf_members
                 (List.map (fun v -> blocks.(v).Block.state) group)
@@ -428,7 +495,8 @@ let run cfg p ~graph ~initial_states =
             { Phase.traffic; payload = (session, leaf_members, out) })
           ~merge:(fun gi (session, leaf_members, out) ->
             agg_sessions := session :: !agg_sessions;
-            partials.(gi) <- Some (leaf_members, out));
+            partials.(gi) <- Some (leaf_members, out))
+          ();
         Phase.run_sequential acc Aggregation (fun () ->
             let parts =
               Array.to_list
@@ -441,6 +509,20 @@ let run cfg p ~graph ~initial_states =
   let mpc_sessions =
     Array.to_list (Array.map (fun b -> b.Block.session) blocks) @ !agg_sessions
   in
+  (* Fold run-level totals into the metrics registry: GMW session counters,
+     injected-fault tallies, edge-privacy budget spend and the final
+     traffic shape. Order is fixed, so exports are reproducible. *)
+  List.iter (fun s -> Gmw.observe s obs) mpc_sessions;
+  List.iter
+    (fun (k, c) ->
+      if c > 0 then Obs.incr obs ~by:c ("faults.injected." ^ Fault.kind_name k))
+    (Fault.Injector.injected injector);
+  if !retry_epsilon > 0.0 then Obs.add obs "privacy.retry_epsilon" !retry_epsilon;
+  Obs.set obs "privacy.epsilon_query" p.Vertex_program.epsilon;
+  Obs.incr obs ~by:p.Vertex_program.iterations "run.iterations";
+  Obs.incr obs ~by:n "run.nodes";
+  Traffic.observe global obs;
+  Obs.leave obs;
   {
     output = Bitvec.to_int_signed output_bits;
     iterations = p.Vertex_program.iterations;
@@ -459,6 +541,7 @@ let run cfg p ~graph ~initial_states =
     mpc_and_gates = List.fold_left (fun a s -> a + Gmw.and_gates_evaluated s) 0 mpc_sessions;
     mpc_ots = List.fold_left (fun a s -> a + Gmw.ots_performed s) 0 mpc_sessions;
     update_stats = Circuit.stats update_c;
+    obs;
   }
 
 (* ------------------------------------------------------------------ *)

@@ -42,7 +42,22 @@
     wall-clock), escalating to an {!escalation_widening}-times-wider
     lookup table before giving up. The {!report} itemizes injected faults,
     retries, recovered/unrecovered failures, and the extra edge-privacy
-    budget consumed by retried transfers. *)
+    budget consumed by retried transfers.
+
+    {b Observability.} When [config.obs_level] is above
+    {!Dstress_obs.Obs.Off}, the run collects a hierarchical span trace
+    ([run > round:<r> > phase:<name> > vertex/xfer/init/agg tasks]) on a
+    simulated timeline (1 tick per wire byte, 10{^6} per simulated recovery
+    second) and a typed metrics registry (GMW rounds/ANDs/OTs, transfer
+    retry and escalation counts, crash recoveries, edge-privacy spend,
+    per-phase bytes, traffic shape). Collection is deterministic: spans
+    are gathered per task and merged in task-index order, and computation
+    spans are per {e vertex} rather than per slice group, so the exported
+    trace and metrics are bit-identical across executors and slice widths
+    for a given seed. At [Off] the shared no-op collector is used and the
+    hot paths do no work. The collector is returned in [report.obs];
+    export it with {!Dstress_obs.Obs.trace_json} /
+    {!Dstress_obs.Obs.metrics_json} / {!Dstress_obs.Obs.metrics_csv}. *)
 
 type aggregation = Single_block | Two_level of int  (** fan-out of the leaf level *)
 
@@ -66,14 +81,19 @@ type config = {
           evaluated together ({!Dstress_mpc.Gmw.eval_many}); [1] selects
           the scalar per-vertex path. Either setting produces bit-identical
           reports — outputs, traffic matrix, fault/retry counters. *)
+  obs_level : Dstress_obs.Obs.level;
+      (** observability level: [Off] (default; zero-cost no-op), [Basic]
+          (metrics + run/round/phase spans), [Full] (adds per-task,
+          per-vertex, per-transfer-attempt spans and per-node traffic
+          gauges) *)
 }
 
 val default_config : ?seed:string -> Dstress_crypto.Group.t -> k:int -> degree_bound:int -> config
 (** Simulation OT mode, [transfer_alpha = 0.5], table radius 120,
     single-block aggregation, no faults, 2 retries, 50 ms base backoff,
-    slice width 64. The executor comes from {!Executor.of_env} —
-    sequential unless the [DSTRESS_JOBS] environment variable requests a
-    domain pool. *)
+    slice width 64, observability off. The executor comes from
+    {!Executor.of_env} — sequential unless the [DSTRESS_JOBS] environment
+    variable requests a domain pool. *)
 
 val escalation_widening : int
 (** Factor by which the last-resort decryption table is wider than
@@ -118,6 +138,10 @@ type report = {
   mpc_and_gates : int;
   mpc_ots : int;
   update_stats : Dstress_circuit.Circuit.stats;
+  obs : Dstress_obs.Obs.t;
+      (** the run's observability collector (the shared no-op collector
+          when [obs_level = Off]); all spans are closed — ready for the
+          {!Dstress_obs.Obs} exporters *)
 }
 
 val run :

@@ -13,7 +13,14 @@
     two backends are interchangeable — {!map} always returns results in
     index order, and the engine merges them sequentially, so outputs and
     reports are bit-identical regardless of scheduling (see DESIGN.md,
-    "Runtime architecture"). *)
+    "Runtime architecture").
+
+    The same contract carries the observability layer: {!Phase.run_tasks}
+    hands every task its own forked {!Dstress_obs.Obs} collector (never
+    shared across tasks, so no synchronization on the hot path) and folds
+    them back in index order after the batch — which is why a run's
+    exported trace and metrics are also byte-identical under either
+    backend and any [jobs] count. *)
 
 type t =
   | Sequential  (** run every task on the calling domain, in index order *)

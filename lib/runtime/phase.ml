@@ -1,4 +1,5 @@
 module Traffic = Dstress_mpc.Traffic
+module Obs = Dstress_obs.Obs
 
 type id = Setup | Initialization | Computation | Communication | Aggregation
 
@@ -11,15 +12,22 @@ let name = function
 
 let all = [ Setup; Initialization; Computation; Communication; Aggregation ]
 
+(* One simulated-recovery second is charged to the trace as this many
+   ticks (wire bytes are charged 1 tick each). *)
+let ticks_per_recovery_second = 1_000_000.0
+
+let recovery_ticks s = int_of_float (s *. ticks_per_recovery_second)
+
 module Accounting = struct
   type t = {
     global : Traffic.t;
     seconds : (id, float ref) Hashtbl.t;
     bytes : (id, int ref) Hashtbl.t;
     recovery : (id, float ref) Hashtbl.t;
+    obs : Obs.t;
   }
 
-  let create ~parties =
+  let create ?(obs = Obs.off) ~parties () =
     let seconds = Hashtbl.create 8
     and bytes = Hashtbl.create 8
     and recovery = Hashtbl.create 8 in
@@ -29,9 +37,10 @@ module Accounting = struct
         Hashtbl.replace bytes p (ref 0);
         Hashtbl.replace recovery p (ref 0.0))
       all;
-    { global = Traffic.create parties; seconds; bytes; recovery }
+    { global = Traffic.create parties; seconds; bytes; recovery; obs }
 
   let traffic t = t.global
+  let obs t = t.obs
 
   let add_seconds t phase s =
     let r = Hashtbl.find t.seconds phase in
@@ -39,11 +48,17 @@ module Accounting = struct
 
   let add_bytes t phase b =
     let r = Hashtbl.find t.bytes phase in
-    r := !r + b
+    r := !r + b;
+    Obs.incr t.obs ~by:b ("phase." ^ name phase ^ ".bytes")
 
+  (* Recovery time is metered here but its simulated ticks are charged by
+     the caller (with {!recovery_ticks}) at the exact point in the task's
+     timeline where the wait happens, so trace placement does not depend
+     on merge granularity (per-vertex vs per-slice-group). *)
   let add_recovery t phase s =
     let r = Hashtbl.find t.recovery phase in
-    r := !r +. s
+    r := !r +. s;
+    Obs.add t.obs ("phase." ^ name phase ^ ".recovery_seconds") s
 
   let phase_seconds t = List.map (fun p -> (p, !(Hashtbl.find t.seconds p))) all
   let phase_bytes t = List.map (fun p -> (p, !(Hashtbl.find t.bytes p))) all
@@ -51,24 +66,53 @@ module Accounting = struct
 end
 
 let run_sequential acc phase f =
+  let obs = acc.Accounting.obs in
+  Obs.enter obs ("phase:" ^ name phase);
   let t0 = Unix.gettimeofday () in
   let b0 = Traffic.total acc.Accounting.global in
   let result = f () in
   Accounting.add_seconds acc phase (Unix.gettimeofday () -. t0);
-  Accounting.add_bytes acc phase (Traffic.total acc.Accounting.global - b0);
+  let bytes = Traffic.total acc.Accounting.global - b0 in
+  Accounting.add_bytes acc phase bytes;
+  Obs.advance obs bytes;
+  Obs.leave obs;
   result
 
 type 'a task_result = { traffic : Traffic.t; payload : 'a }
 
-let run_tasks exec acc phase ~count ~task ~merge =
+let run_tasks exec acc phase ?task_label ~count ~task ~merge () =
+  let obs = acc.Accounting.obs in
+  Obs.enter obs ("phase:" ^ name phase);
   let t0 = Unix.gettimeofday () in
-  let results = Executor.map exec count task in
+  (* Per-task child collectors keep span/metric emission race-free under a
+     domain pool; the index-ordered merge below rebases them onto the
+     parent timeline, so the collected trace is schedule-independent.
+     When observability is off, fork returns the shared no-op collector
+     and nothing here allocates. *)
+  let children =
+    if Obs.enabled obs then Array.init count (fun _ -> Obs.fork obs)
+    else Array.make count obs
+  in
+  let results =
+    Executor.map exec count (fun i ->
+        let child = children.(i) in
+        match task_label with
+        | Some label ->
+            if Obs.detailed child then Obs.enter child (label i);
+            let r = task child i in
+            if Obs.enabled child then Obs.advance child (Traffic.total r.traffic);
+            if Obs.detailed child then Obs.leave child;
+            r
+        | None -> task child i)
+  in
   let bytes = ref 0 in
   Array.iteri
     (fun i r ->
       bytes := !bytes + Traffic.total r.traffic;
       Traffic.merge_into ~dst:acc.Accounting.global r.traffic;
+      Obs.merge_into ~dst:obs children.(i);
       merge i r.payload)
     results;
   Accounting.add_seconds acc phase (Unix.gettimeofday () -. t0);
-  Accounting.add_bytes acc phase !bytes
+  Accounting.add_bytes acc phase !bytes;
+  Obs.leave obs

@@ -6,6 +6,7 @@ module Bitvec = Dstress_util.Bitvec
 module Traffic = Dstress_mpc.Traffic
 module Sharing = Dstress_mpc.Sharing
 module Mechanism = Dstress_dp.Mechanism
+module Obs = Dstress_obs.Obs
 
 type variant = Strawman1 | Strawman2 | Strawman3 | Final
 
@@ -67,8 +68,8 @@ let expected_bytes variant ~k ~bits ~element_bytes =
    integrity check) without learning anything. *)
 type 'a attempt_status = Killed | Decrypted of 'a
 
-let transfer ?(recovery = no_recovery) ?inject params ~prg ~noise ~traffic ~variant ~setup
-    ~sender ~receiver ~neighbor_slot ~shares =
+let transfer ?(recovery = no_recovery) ?inject ?(obs = Obs.off) params ~prg ~noise ~traffic
+    ~variant ~setup ~sender ~receiver ~neighbor_slot ~shares =
   let grp = setup.Setup.grp in
   let l = setup.Setup.bits in
   let kp1 = setup.Setup.k + 1 in
@@ -261,6 +262,24 @@ let transfer ?(recovery = no_recovery) ?inject params ~prg ~noise ~traffic ~vari
   let all_missing =
     List.concat (List.init kp1 (fun member -> List.init l (fun bit -> { member; bit })))
   in
+  (* Observability wrapper around one attempt: a span (at Full) whose
+     simulated duration is exactly the bytes the attempt put on the wire.
+     [obs] is this edge task's private collector, so emission here is
+     deterministic under any executor. *)
+  let metered_attempt ~table ~inject idx =
+    (* Traffic.total is O(parties^2): only pay for the before/after delta
+       when the collector is live. *)
+    if not (Obs.enabled obs) then attempt ~table ~inject
+    else begin
+      let before = Traffic.total traffic in
+      if Obs.detailed obs then Obs.enter obs (Printf.sprintf "attempt:%d" idx);
+      Obs.incr obs "transfer.attempts";
+      let result = attempt ~table ~inject in
+      Obs.advance obs (Traffic.total traffic - before);
+      if Obs.detailed obs then Obs.leave obs;
+      result
+    end
+  in
   let finalize ~retries ~revealed ~failures result =
     let extra_epsilon =
       match variant with
@@ -269,32 +288,39 @@ let transfer ?(recovery = no_recovery) ?inject params ~prg ~noise ~traffic ~vari
             ~retries:(max 0 (revealed - 1))
       | Strawman1 | Strawman2 | Strawman3 -> 0.0
     in
-    match result with
-    | Killed ->
-        (* The message never arrived: the receiver's block keeps no-op
-           (all-zero) shares and every position is flagged unrecovered. *)
-        {
-          shares = zero_shares ();
-          failures;
-          misses = all_missing;
-          retries;
-          recovered = failures;
-          unrecovered = kp1 * l;
-          extra_epsilon;
-          sums = None;
-        }
-    | Decrypted (new_shares, misses, sums) ->
-        let unrecovered = List.length misses in
-        {
-          shares = new_shares;
-          failures;
-          misses;
-          retries;
-          recovered = failures - unrecovered;
-          unrecovered;
-          extra_epsilon;
-          sums;
-        }
+    let outcome =
+      match result with
+      | Killed ->
+          (* The message never arrived: the receiver's block keeps no-op
+             (all-zero) shares and every position is flagged unrecovered. *)
+          {
+            shares = zero_shares ();
+            failures;
+            misses = all_missing;
+            retries;
+            recovered = failures;
+            unrecovered = kp1 * l;
+            extra_epsilon;
+            sums = None;
+          }
+      | Decrypted (new_shares, misses, sums) ->
+          let unrecovered = List.length misses in
+          {
+            shares = new_shares;
+            failures;
+            misses;
+            retries;
+            recovered = failures - unrecovered;
+            unrecovered;
+            extra_epsilon;
+            sums;
+          }
+    in
+    Obs.incr obs ~by:outcome.failures "transfer.failures";
+    Obs.incr obs ~by:outcome.recovered "transfer.recovered";
+    Obs.incr obs ~by:outcome.unrecovered "transfer.unrecovered";
+    Obs.incr obs ~by:outcome.retries "transfer.retries";
+    outcome
   in
   let rec go attempt_idx ~failures ~revealed =
     let inject = if attempt_idx = 0 then inject else None in
@@ -305,7 +331,7 @@ let transfer ?(recovery = no_recovery) ?inject params ~prg ~noise ~traffic ~vari
         | None -> params.table
       else params.table
     in
-    let new_shares, status, sums = attempt ~table ~inject in
+    let new_shares, status, sums = metered_attempt ~table ~inject attempt_idx in
     match status with
     | Killed ->
         if attempt_idx + 1 < max_attempts then go (attempt_idx + 1) ~failures ~revealed

@@ -96,6 +96,7 @@ type outcome = {
 val transfer :
   ?recovery:recovery ->
   ?inject:inject ->
+  ?obs:Dstress_obs.Obs.t ->
   params ->
   prg:Dstress_crypto.Prg.t ->
   noise:Dstress_util.Prng.t ->
@@ -113,7 +114,15 @@ val transfer :
     handed to [i] during setup. The reconstructed message is preserved:
     XOR of output shares = XOR of input shares (Theorem 1) whenever
     [unrecovered = 0]. [recovery] defaults to {!no_recovery}; [inject]
-    applies a simulated fault to the first attempt only. Raises
+    applies a simulated fault to the first attempt only.
+
+    [obs] (default: the no-op collector) receives phase-attributed
+    observability: [transfer.attempts] per protocol attempt plus the
+    outcome's [transfer.failures]/[.recovered]/[.unrecovered]/[.retries]
+    counters, and — at level [Full] — one [attempt:<n>] span per attempt
+    whose simulated duration is the bytes that attempt put on [traffic].
+    Pass the calling task's private collector so emission stays
+    deterministic under parallel schedules. Raises
     [Invalid_argument] on shape mismatches or a negative retry bound. *)
 
 val expected_bytes :

@@ -1,0 +1,23 @@
+(* Validate that each file named on the command line parses as JSON
+   (using the same strict parser the exporters are tested against).
+   Exits nonzero on the first malformed file — used by bin/ci.sh to
+   smoke-check `dstress stress --trace/--metrics` output. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let () =
+  let ok = ref true in
+  Array.iteri
+    (fun i path ->
+      if i > 0 then
+        match Dstress_obs.Json.parse (read_file path) with
+        | Ok _ -> Printf.printf "%s: valid JSON\n" path
+        | Error e ->
+            Printf.eprintf "%s: %s\n" path e;
+            ok := false)
+    Sys.argv;
+  if not !ok then exit 1
