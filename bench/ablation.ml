@@ -22,17 +22,31 @@ let aggregation ~quick () =
   let states = En_program.encode_instance inst ~graph ~l:12 ~degree:d ~scale:0.25 in
   Printf.printf "%-22s %12s %14s %10s\n" "aggregation" "agg time" "agg bytes" "output";
   List.iter
-    (fun (label, agg) ->
+    (fun (name, label, agg) ->
       let cfg =
         { (Engine.default_config grp ~k:3 ~degree_bound:d ~seed:"ablation-agg") with
           Engine.aggregation = agg }
       in
       let r = Engine.run cfg p ~graph ~initial_states:states in
-      Printf.printf "%-22s %10.3f s %12d B %10d\n" label
-        (List.assoc Engine.Aggregation r.Engine.phase_seconds)
+      let agg_s = List.assoc Engine.Aggregation r.Engine.phase_seconds in
+      emit
+        (Bench_result.make_result
+           ~wall:
+             { Bench_result.median_s = agg_s; min_s = agg_s; p10_s = agg_s;
+               p90_s = agg_s }
+           ~counters:
+             [
+               ("agg_bytes", List.assoc Engine.Aggregation r.Engine.phase_bytes);
+               ("output", r.Engine.output);
+             ]
+           name);
+      Printf.printf "%-22s %10.3f s %12d B %10d\n" label agg_s
         (List.assoc Engine.Aggregation r.Engine.phase_bytes)
         r.Engine.output)
-    [ ("single block", Engine.Single_block); ("two-level (fanout 4)", Engine.Two_level 4) ];
+    [
+      ("single-block", "single block", Engine.Single_block);
+      ("two-level", "two-level (fanout 4)", Engine.Two_level 4);
+    ];
   Printf.printf
     "\nThe root block's circuit shrinks from N inputs to N/fanout, trading total\n\
      bytes for parallel leaf evaluations — the paper's fix for the aggregation\n\
@@ -50,6 +64,9 @@ let degree_bucketing ~quick:_ () =
     (float_of_int big /. float_of_int small);
   (* Suppose 90%% of banks have degree <= 10 (the two-tier structure). *)
   let blended = (0.9 *. float_of_int small) +. (0.1 *. float_of_int big) in
+  record "buckets"
+    ~counters:[ ("ands_d10", small); ("ands_d100", big) ]
+    ~floats:[ ("blended_ands", blended) ];
   Printf.printf
     "with 90%% of banks in a D=10 bucket: mean %.0f ANDs per step, x%.1f cheaper than\n\
      the uniform D=100 bound — at the cost of revealing each bank's bucket.\n"
@@ -69,7 +86,7 @@ let twopc ~quick () =
   let inputs = Bitvec.random prng inputs_bits in
   let half = inputs_bits / 2 in
   (* Garbled 2PC. *)
-  let meter = Dstress_crypto.Meter.create () in
+  let meter = Dstress_crypto.Xfer.create () in
   let garble_result, garble_secs =
     time (fun () ->
         Dstress_crypto.Garble.execute ~mode:Ot_ext.Simulation grp meter circuit
@@ -85,9 +102,26 @@ let twopc ~quick () =
   let gmw_bytes = Traffic.total (Gmw.traffic session) in
   Printf.printf "EN step circuit (D=%d): %d AND gates, depth %d\n\n" d
     (Circuit.and_count circuit) (Circuit.and_depth circuit);
+  let wall_of s =
+    { Bench_result.median_s = s; min_s = s; p10_s = s; p90_s = s }
+  in
+  emit
+    (Bench_result.make_result ~wall:(wall_of garble_secs)
+       ~params:[ ("d", Json.Int d) ]
+       ~counters:
+         [
+           ("bytes", Dstress_crypto.Xfer.total meter);
+           ("and_gates", Circuit.and_count circuit);
+         ]
+       "garbled");
+  emit
+    (Bench_result.make_result ~wall:(wall_of gmw_secs)
+       ~params:[ ("d", Json.Int d) ]
+       ~counters:[ ("bytes", gmw_bytes); ("rounds", Gmw.rounds session) ]
+       "gmw-2pc");
   Printf.printf "%-18s %12s %14s %10s\n" "backend" "time" "bytes" "rounds";
   Printf.printf "%-18s %9.3f s %12d B %10s\n" "garbled (Yao)" garble_secs
-    (Dstress_crypto.Meter.total meter) "O(1)";
+    (Dstress_crypto.Xfer.total meter) "O(1)";
   Printf.printf "%-18s %9.3f s %12d B %10d\n" "GMW (2 parties)" gmw_secs gmw_bytes
     (Gmw.rounds session);
   ignore garble_result;

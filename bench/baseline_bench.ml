@@ -19,6 +19,18 @@ let run ~quick () =
     List.map
       (fun n ->
         let m = Matmul.measure grp ~parties ~n ~bits ~seed:("baseline" ^ string_of_int n) in
+        emit
+          (Bench_result.make_result
+             ~params:[ ("n", Json.Int n) ]
+             ~wall:
+               { Bench_result.median_s = m.Matmul.seconds; min_s = m.Matmul.seconds;
+                 p10_s = m.Matmul.seconds; p90_s = m.Matmul.seconds }
+             ~counters:
+               [
+                 ("and_gates", m.Matmul.and_count);
+                 ("traffic.total_bytes", m.Matmul.total_bytes);
+               ]
+             "matmul");
         Printf.printf "%8d %12d %10.2f s %12.2f\n" n m.Matmul.and_count m.Matmul.seconds
           (mb m.Matmul.total_bytes);
         m)
@@ -36,6 +48,14 @@ let run ~quick () =
   let dstress = Projection.project units Projection.paper_scale in
   Printf.printf "DStress projection at the same scale: %.2f hours\n"
     (dstress.Projection.total_seconds /. 3600.0);
+  record "extrapolation"
+    ~floats:
+      [
+        ("cubic_fit_c", c);
+        ("naive_years", Matmul.years naive_seconds);
+        ("dstress_hours", dstress.Projection.total_seconds /. 3600.0);
+        ("ratio", naive_seconds /. dstress.Projection.total_seconds);
+      ];
   Printf.printf "  -> naive MPC / DStress ratio: x%.0f (paper: ~287 years vs ~4.8 h, x%.0f)\n"
     (naive_seconds /. dstress.Projection.total_seconds)
     (287.0 *. 365.25 *. 24.0 /. 4.8)

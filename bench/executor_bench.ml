@@ -28,12 +28,26 @@ let run ~quick () =
     n d iterations cores;
   Printf.printf "%-14s %12s %12s %12s %10s\n" "executor" "wall time" "compute" "communicate"
     "output";
-  let measure executor =
+  let measure name executor =
     let cfg =
       { (Engine.default_config grp ~k:2 ~degree_bound:d ~seed:"exec-bench") with
         Engine.executor }
     in
     let r, seconds = time (fun () -> Engine.run cfg p ~graph ~initial_states:states) in
+    (* The jobs count is machine-dependent, so it stays out of the row's
+       identity; the output counter must match across executors anyway. *)
+    emit
+      (Bench_result.make_result
+         ~wall:
+           { Bench_result.median_s = seconds; min_s = seconds; p10_s = seconds;
+             p90_s = seconds }
+         ~counters:[ ("output", r.Engine.output) ]
+         ~floats:
+           [
+             ("compute_s", List.assoc Engine.Computation r.Engine.phase_seconds);
+             ("communicate_s", List.assoc Engine.Communication r.Engine.phase_seconds);
+           ]
+         name);
     Printf.printf "%-14s %10.2f s %10.2f s %10.2f s %10d\n%!" (Executor.name executor)
       seconds
       (List.assoc Engine.Computation r.Engine.phase_seconds)
@@ -41,9 +55,9 @@ let run ~quick () =
       r.Engine.output;
     r
   in
-  let seq = measure Executor.sequential in
+  let seq = measure "sequential" Executor.sequential in
   let jobs = if cores > 1 then min cores 4 else 4 in
-  let par = measure (Executor.parallel ~jobs) in
+  let par = measure "parallel" (Executor.parallel ~jobs) in
   if seq.Engine.output <> par.Engine.output then
     failwith "executor_bench: executors disagree on the output";
   if seq.Engine.phase_bytes <> par.Engine.phase_bytes then

@@ -73,6 +73,18 @@ let run ~quick () =
         List.fold_left (fun a (_, s) -> a +. s) 0.0 r.Engine.recovery_seconds
       in
       let ok = r.Engine.unrecovered_failures = 0 && r.Engine.output = expected in
+      record "sweep"
+        ~params:[ ("rate_pct", Json.Int (int_of_float (rate *. 100.0))) ]
+        ~counters:
+          [
+            ("injected", injected);
+            ("retries", r.Engine.transfer_retries);
+            ("recovered", r.Engine.recovered_failures);
+            ("unrecovered", r.Engine.unrecovered_failures);
+            ("output", r.Engine.output);
+            ("ok", if ok then 1 else 0);
+          ]
+        ~floats:[ ("extra_eps", r.Engine.retry_epsilon); ("backoff_s", backoff) ];
       Printf.printf "%6.2f | %8d %7d %9d %11d | %9.4f %9.3f | %5s\n" rate injected
         r.Engine.transfer_retries r.Engine.recovered_failures r.Engine.unrecovered_failures
         r.Engine.retry_epsilon backoff

@@ -41,7 +41,7 @@ let init_point ~d ~block =
   in
   let bytes = (block - 1) * (((bits + 7) / 8) + Group.element_bytes grp) in
   { block; sim_seconds = seconds; per_party_seconds = seconds;
-    per_party_mb = mb bytes; ands = 0 }
+    per_party_mb = mb bytes; total_bytes = bytes; ands = 0 }
 
 let left ~quick () =
   header "Figure 3 (left) + Figure 4: MPC cost vs block size";
@@ -50,8 +50,15 @@ let left ~quick () =
   let n_agg = if quick then 40 else 100 in
   let magnitude = if quick then 200 else 600 in
   Printf.printf "(parameters: L=%d, D=%d for steps, N=%d for aggregation)\n" l d n_agg;
-  let bench label circuit =
-    let points = List.map (fun block -> run_mpc_circuit circuit ~block) blocks in
+  let bench ~name ~params label circuit =
+    let points =
+      List.map
+        (fun block ->
+          let p = run_mpc_circuit circuit ~block in
+          emit_mpc_point ~params name p;
+          p)
+        blocks
+    in
     print_mpc_table ~label points;
     let g = growth_factor points (fun p -> p.per_party_seconds) in
     Printf.printf "  -> per-party time growth x%.1f across block sizes (paper: roughly linear)\n\n" g
@@ -62,13 +69,18 @@ let left ~quick () =
   List.iter
     (fun block ->
       let p = init_point ~d ~block in
+      emit_mpc_point "init-share" p;
       Printf.printf "%-28s %8d %10.4f s %10.4f\n" "" block p.sim_seconds p.per_party_mb)
     blocks;
   print_newline ();
-  bench (Printf.sprintf "EN step (D=%d)" d) (en_step_circuit ~d);
-  bench (Printf.sprintf "EGJ step (D=%d)" d) (egj_step_circuit ~d);
-  bench (Printf.sprintf "Aggregation (N=%d)" n_agg) (agg_circuit ~n:n_agg);
-  bench "Noising" (noising_circuit ~magnitude)
+  bench ~name:"en-step" ~params:[ ("d", Json.Int d) ]
+    (Printf.sprintf "EN step (D=%d)" d) (en_step_circuit ~d);
+  bench ~name:"egj-step" ~params:[ ("d", Json.Int d) ]
+    (Printf.sprintf "EGJ step (D=%d)" d) (egj_step_circuit ~d);
+  bench ~name:"aggregation" ~params:[ ("n", Json.Int n_agg) ]
+    (Printf.sprintf "Aggregation (N=%d)" n_agg) (agg_circuit ~n:n_agg);
+  bench ~name:"noising" ~params:[ ("magnitude", Json.Int magnitude) ] "Noising"
+    (noising_circuit ~magnitude)
 
 let right ~quick () =
   header "Figure 3 (right): MPC step cost vs degree bound and network size";
@@ -76,17 +88,19 @@ let right ~quick () =
   let ds = if quick then [ 10; 25; 40 ] else [ 10; 40; 70; 100 ] in
   let ns = if quick then [ 25; 50; 75 ] else [ 50; 100; 150; 200 ] in
   Printf.printf "(block size %d)\n\n" block;
-  let table label circuits param_name params =
+  let table ~name label circuits param_name params =
     Printf.printf "%-24s %8s %10s %12s %12s\n" label param_name "ANDs" "sim time" "time/party";
     List.iter2
       (fun param circuit ->
         let p = run_mpc_circuit circuit ~block in
+        emit_mpc_point ~params:[ (String.lowercase_ascii param_name, Json.Int param) ]
+          name p;
         Printf.printf "%-24s %8d %10d %10.2f s %10.2f s\n" "" param p.ands p.sim_seconds
           p.per_party_seconds)
       params circuits;
     print_newline ()
   in
-  table "EN step" (List.map (fun d -> en_step_circuit ~d) ds) "D" ds;
-  table "EGJ step" (List.map (fun d -> egj_step_circuit ~d) ds) "D" ds;
-  table "Aggregation" (List.map (fun n -> agg_circuit ~n) ns) "N" ns;
+  table ~name:"en-step" "EN step" (List.map (fun d -> en_step_circuit ~d) ds) "D" ds;
+  table ~name:"egj-step" "EGJ step" (List.map (fun d -> egj_step_circuit ~d) ds) "D" ds;
+  table ~name:"aggregation" "Aggregation" (List.map (fun n -> agg_circuit ~n) ns) "N" ns;
   Printf.printf "Shape target: near-linear growth in D and in N (paper Fig. 3 right).\n"

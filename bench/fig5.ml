@@ -63,6 +63,21 @@ let run_egj ~iterations ~k topo prng =
 (* Wall-clock comes from the report (it is deliberately kept out of the
    deterministic registry); every byte figure is read back from the run's
    metrics registry, exercising the same counters `--metrics` exports. *)
+let emit_run name ~block (r : Engine.report) =
+  let m = Obs.metrics r.Engine.obs in
+  let total = List.fold_left (fun a (_, s) -> a +. s) 0.0 r.Engine.phase_seconds in
+  emit
+    (Bench_result.make_result
+       ~params:[ ("block", Json.Int block) ]
+       ~wall:{ Bench_result.median_s = total; min_s = total; p10_s = total; p90_s = total }
+       ~counters:(Bench_result.counters_of_metrics m)
+       ~floats:
+         (Bench_result.floats_of_metrics m
+         @ List.map
+             (fun (ph, s) -> ("phase." ^ Engine.phase_name ph ^ ".s", s))
+             r.Engine.phase_seconds)
+       name)
+
 let print_run label ~block (r : Engine.report) =
   let m = Obs.metrics r.Engine.obs in
   let phase_s p = List.assoc p r.Engine.phase_seconds in
@@ -95,6 +110,7 @@ let run ~quick () =
       (fun block ->
         let r = run_en ~iterations ~k:(block - 1) topo prng in
         print_run "EN" ~block r;
+        emit_run "en" ~block r;
         let t = List.fold_left (fun a (_, s) -> a +. s) 0.0 r.Engine.phase_seconds in
         (block, t))
       blocks
@@ -103,7 +119,8 @@ let run ~quick () =
   List.iter
     (fun block ->
       let r = run_egj ~iterations ~k:(block - 1) topo prng in
-      print_run "EGJ" ~block r)
+      print_run "EGJ" ~block r;
+      emit_run "egj" ~block r)
     blocks;
   (match (en_totals, List.rev en_totals) with
   | (b0, t0) :: _, (b1, t1) :: _ ->

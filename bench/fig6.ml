@@ -13,6 +13,15 @@ module Banking = Dstress_graphgen.Banking
 let run ~quick () =
   header "Figure 6: projected end-to-end cost vs network size";
   let units = Projection.measure_units grp ~seed:"fig6" in
+  (* Calibration and projections are machine-dependent by construction:
+     informational floats, never gated counters. *)
+  record "calibration"
+    ~floats:
+      [
+        ("ot_us_per_and_pair", units.Projection.ot_seconds_per_and_per_pair *. 1e6);
+        ("bytes_per_and_pair", units.Projection.mpc_bytes_per_and_per_pair);
+        ("exp_us", units.Projection.exp_seconds *. 1e6);
+      ];
   Printf.printf
     "calibration: %.2f us/AND/pair, %.1f B/AND/pair, %.1f us/exp (toy group, simulation OT)\n\n"
     (units.Projection.ot_seconds_per_and_per_pair *. 1e6)
@@ -32,6 +41,13 @@ let run ~quick () =
             { Projection.n; d; k = 19; l = 16; iterations = None; tree_fanout = 100 }
           in
           let pr = Projection.project units p in
+          record "projection"
+            ~params:[ ("n", Json.Int n); ("d", Json.Int d) ]
+            ~floats:
+              [
+                ("total_s", pr.Projection.total_seconds);
+                ("mb_per_node", pr.Projection.total_bytes_per_node /. 1048576.0);
+              ];
           Printf.printf " | %7.1f min %6.0f MB" (pr.Projection.total_seconds /. 60.0)
             (pr.Projection.total_bytes_per_node /. 1048576.0))
         ds;
@@ -39,6 +55,12 @@ let run ~quick () =
     ns;
   (* Headline: the paper's 4.8 h / 750 MB point. *)
   let headline = Projection.project units Projection.paper_scale in
+  record "headline"
+    ~floats:
+      [
+        ("total_hours", headline.Projection.total_seconds /. 3600.0);
+        ("mb_per_node", headline.Projection.total_bytes_per_node /. 1048576.0);
+      ];
   Printf.printf "\nheadline (N=1750, D=100, k=19):\n";
   Format.printf "%a@." Projection.pp headline;
   Printf.printf
@@ -66,6 +88,18 @@ let run ~quick () =
     (* The simulation serializes all N blocks; the projection models
        parallel nodes, so compare per-node quantities. *)
     let sim_per_node = wall /. float_of_int n *. float_of_int (k + 1) in
+    emit
+      (Bench_result.make_result
+         ~params:[ ("n", Json.Int n); ("d", Json.Int d); ("k", Json.Int k) ]
+         ~wall:
+           { Bench_result.median_s = wall; min_s = wall; p10_s = wall; p90_s = wall }
+         ~floats:
+           [
+             ("model_total_s", pr.Projection.total_seconds);
+             ("real_mb_per_node",
+              Dstress_mpc.Traffic.mean_per_node report.Engine.traffic /. 1048576.0);
+           ]
+         "validation");
     Printf.printf
       "real run: N=%d D=%d k=%d I=%d: wall %.1f s (~%.1f s node-serialized), %.1f MB/node\n"
       n d k iterations wall sim_per_node

@@ -1,11 +1,20 @@
 (* DStress benchmark harness: regenerates every table and figure of the
-   paper's evaluation section (see DESIGN.md §4 for the experiment index).
+   paper's evaluation section (see DESIGN.md §4 for the experiment index),
+   and doubles as the perf telemetry source — every experiment reports
+   typed rows through Bench_util, exported as one dstress-bench/1 JSON
+   document for bin/bench_diff to gate regressions against.
 
    Usage:
-     dune exec bench/main.exe                 -- run everything
-     dune exec bench/main.exe -- --quick      -- smaller parameters
-     dune exec bench/main.exe -- fig5 fig6    -- selected experiments
-     dune exec bench/main.exe -- --list       -- list experiment names *)
+     dune exec bench/main.exe                   -- run everything
+     dune exec bench/main.exe -- --quick        -- smaller parameters
+     dune exec bench/main.exe -- fig5 fig6      -- selected experiments
+     dune exec bench/main.exe -- --filter 'fig' -- name regex selection
+     dune exec bench/main.exe -- --json out.json      -- machine-readable results
+     dune exec bench/main.exe -- --baseline DIR -- per-suite BENCH_<name>.json
+     dune exec bench/main.exe -- --list         -- list experiment names
+
+   A sub-bench that raises is reported, the remaining suites still run
+   (and the JSON still gets written), and the exit code is nonzero. *)
 
 let experiments : (string * string * (quick:bool -> unit -> unit)) list =
   [
@@ -29,16 +38,56 @@ let experiments : (string * string * (quick:bool -> unit -> unit)) list =
     ("gmw-slice", "bitsliced GMW: scalar vs 64-wide sliced evaluation", Slice_bench.run);
   ]
 
+let usage () =
+  prerr_endline
+    "usage: main.exe [--quick] [--list] [--json FILE] [--baseline DIR] \
+     [--filter REGEX] [NAME...]";
+  exit 2
+
+(* Minimal flag parsing: flags with arguments consume the next word,
+   anything else is an experiment name. *)
+let parse_args args =
+  let quick = ref false and listed = ref false in
+  let json = ref None and baseline = ref None and filter = ref None in
+  let names = ref [] in
+  let rec go = function
+    | [] -> ()
+    | "--quick" :: rest ->
+        quick := true;
+        go rest
+    | "--list" :: rest ->
+        listed := true;
+        go rest
+    | "--json" :: file :: rest ->
+        json := Some file;
+        go rest
+    | "--baseline" :: dir :: rest ->
+        baseline := Some dir;
+        go rest
+    | "--filter" :: re :: rest ->
+        filter := Some re;
+        go rest
+    | ("--json" | "--baseline" | "--filter") :: [] -> usage ()
+    | a :: _ when String.length a >= 2 && String.sub a 0 2 = "--" ->
+        Printf.eprintf "unknown flag %s\n" a;
+        usage ()
+    | name :: rest ->
+        names := name :: !names;
+        go rest
+  in
+  go args;
+  (!quick, !listed, !json, !baseline, !filter, List.rev !names)
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  let quick = List.mem "--quick" args in
-  let listed = List.mem "--list" args in
-  let selected = List.filter (fun a -> not (String.length a >= 2 && String.sub a 0 2 = "--")) args in
+  let quick, listed, json, baseline, filter, selected = parse_args args in
   if listed then begin
     List.iter (fun (name, descr, _) -> Printf.printf "%-22s %s\n" name descr) experiments;
     exit 0
   end;
-  let unknown = List.filter (fun s -> not (List.exists (fun (n, _, _) -> n = s) experiments)) selected in
+  let unknown =
+    List.filter (fun s -> not (List.exists (fun (n, _, _) -> n = s) experiments)) selected
+  in
   if unknown <> [] then begin
     Printf.eprintf "unknown experiment(s): %s (try --list)\n" (String.concat ", " unknown);
     exit 1
@@ -47,9 +96,61 @@ let () =
     if selected = [] then experiments
     else List.filter (fun (n, _, _) -> List.mem n selected) experiments
   in
+  let to_run =
+    match filter with
+    | None -> to_run
+    | Some pat ->
+        let re =
+          match Re.Posix.compile_pat pat with
+          | re -> re
+          | exception Re.Posix.Parse_error | (exception Re.Posix.Not_supported) ->
+              Printf.eprintf "bad --filter regex %S\n" pat;
+              exit 2
+        in
+        List.filter (fun (n, _, _) -> Re.execp re n) to_run
+  in
+  if to_run = [] then begin
+    prerr_endline "no experiments selected (try --list)";
+    exit 1
+  end;
   let t0 = Unix.gettimeofday () in
   Printf.printf "DStress benchmark harness (%s mode, %d experiment(s))\n"
     (if quick then "quick" else "full")
     (List.length to_run);
-  List.iter (fun (_, _, f) -> f ~quick ()) to_run;
-  Printf.printf "\nAll benchmarks finished in %.1f s.\n" (Unix.gettimeofday () -. t0)
+  let failures =
+    List.filter_map
+      (fun (name, _, f) ->
+        Bench_util.begin_suite name;
+        let outcome =
+          match f ~quick () with
+          | () -> None
+          | exception e ->
+              Printf.eprintf "\n!! %s failed: %s\n%!" name (Printexc.to_string e);
+              Some name
+        in
+        Bench_util.end_suite ();
+        outcome)
+      to_run
+  in
+  let mode = if quick then "quick" else "full" in
+  let doc = Bench_util.collected_doc ~mode in
+  Option.iter
+    (fun file ->
+      Dstress_obs.Bench_result.write_file file doc;
+      Printf.printf "\nresults written to %s\n" file)
+    json;
+  Option.iter
+    (fun dir ->
+      List.iter
+        (fun (s : Dstress_obs.Bench_result.suite) ->
+          let file = Filename.concat dir ("BENCH_" ^ s.suite ^ ".json") in
+          Dstress_obs.Bench_result.write_file file
+            { Dstress_obs.Bench_result.mode; suites = [ s ] };
+          Printf.printf "baseline written to %s\n" file)
+        doc.Dstress_obs.Bench_result.suites)
+    baseline;
+  Printf.printf "\nAll benchmarks finished in %.1f s.\n" (Unix.gettimeofday () -. t0);
+  if failures <> [] then begin
+    Printf.eprintf "failed experiment(s): %s\n" (String.concat ", " failures);
+    exit 1
+  end

@@ -38,12 +38,16 @@ let run ~quick:_ () =
     List.map (fun i -> Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]) i raw) instances
   in
   let merged = Analyze.merge (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]) instances results in
+  let estimates = ref [] in
   Hashtbl.iter
     (fun name tbl ->
       Hashtbl.iter
         (fun test result ->
           match Bechamel.Analyze.OLS.estimates result with
-          | Some [ est ] -> Printf.printf "%-40s %12.1f ns/op (%s)\n" test est name
+          | Some [ est ] ->
+              estimates := (test ^ ".ns_per_op", est) :: !estimates;
+              Printf.printf "%-40s %12.1f ns/op (%s)\n" test est name
           | _ -> Printf.printf "%-40s (no estimate)\n" test)
         tbl)
-    merged
+    merged;
+  record "primitives" ~floats:!estimates

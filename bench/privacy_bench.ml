@@ -33,7 +33,19 @@ let utility ~quick () =
     Utility.detection_rate (Prng.of_int 0x7272) p ~epsilon:eps ~crisis_tds:1500e9
       ~calm_tds:500e9 ~threshold:1000e9 ~samples
   in
-  Printf.printf "  crisis detection at $1T threshold: TPR %.3f, FPR %.3f\n" tp fp
+  Printf.printf "  crisis detection at $1T threshold: TPR %.3f, FPR %.3f\n" tp fp;
+  record "utility"
+    ~params:[ ("samples", Json.Int samples) ]
+    ~counters:[ ("runs_per_year", Utility.runs_per_year p) ]
+    ~floats:
+      [
+        ("eps_query", eps);
+        ("mean_abs_error_b", stats.Utility.mean_abs_error /. 1e9);
+        ("p95_abs_error_b", stats.Utility.p95_abs_error /. 1e9);
+        ("within_target", stats.Utility.within_target);
+        ("tpr", tp);
+        ("fpr", fp);
+      ]
 
 let appendix_b ~quick:_ () =
   header "Edge-privacy budget (Appendix B)";
@@ -45,6 +57,12 @@ let appendix_b ~quick:_ () =
   (* Paper's own N_l estimate (230M entries) for direct comparison. *)
   let cfg = Edge_privacy.paper_example in
   let alpha = Edge_privacy.max_alpha cfg ~table_entries:230e6 in
+  record "budget"
+    ~floats:
+      [
+        ("alpha_max", alpha);
+        ("eps_per_iteration", Edge_privacy.per_iteration_epsilon cfg ~alpha);
+      ];
   Printf.printf "with the paper's N_l = 230e6: alpha_max = %.9f (paper: 0.999999766), eps/iter = %.4f\n"
     alpha
     (Edge_privacy.per_iteration_epsilon cfg ~alpha)
@@ -58,6 +76,10 @@ let appendix_c ~quick:_ () =
       let inst, _topo = Banking.appendix_c_network (Prng.of_int 0xAC) shock in
       let full = Reference.eisenberg_noe ~iterations:60 inst in
       let short = Reference.eisenberg_noe ~iterations:8 inst in
+      record name
+        ~counters:[ ("rounds_to_converge", full.Reference.en_rounds_to_converge) ]
+        ~floats:
+          [ ("tds", full.Reference.en_tds); ("tds_short", short.Reference.en_tds) ];
       Printf.printf "%-10s %12.2f %18d %16.2f (%.1f%%)\n" name full.Reference.en_tds
         full.Reference.en_rounds_to_converge short.Reference.en_tds
         (100.0 *. short.Reference.en_tds /. Float.max full.Reference.en_tds 1e-9))

@@ -55,6 +55,25 @@ let run ~quick () =
       || Gmw.ots_performed a <> Gmw.ots_performed b
     then failwith "slice_bench: round/AND/OT counters differ"
   done;
+  let emit_path name seconds session =
+    emit
+      (Bench_result.make_result
+         ~params:[ ("instances", Json.Int count); ("block", Json.Int block) ]
+         ~wall:
+           { Bench_result.median_s = seconds; min_s = seconds; p10_s = seconds;
+             p90_s = seconds }
+         ~throughput:("instances", float_of_int count /. seconds)
+         ~counters:
+           [
+             ("and_gates", Gmw.and_gates_evaluated session);
+             ("ots", Gmw.ots_performed session);
+             ("rounds", Gmw.rounds session);
+             ("traffic.total_bytes", Traffic.total (Gmw.traffic session));
+           ]
+         name)
+  in
+  emit_path "scalar" scalar_s scalar_sessions.(0);
+  emit_path "sliced" sliced_s sliced_sessions.(0);
   Printf.printf "%-10s %12s %16s\n" "path" "wall time" "per instance";
   Printf.printf "%-10s %10.3f s %13.2f ms\n" "scalar" scalar_s
     (1000.0 *. scalar_s /. float_of_int count);

@@ -37,6 +37,14 @@ let latency ~quick () =
     List.map
       (fun k ->
         let seconds, traffic = run_one ~k ~variant:Protocol.Final in
+        emit
+          (Bench_result.make_result
+             ~params:[ ("block", Json.Int (k + 1)) ]
+             ~wall:
+               { Bench_result.median_s = seconds; min_s = seconds;
+                 p10_s = seconds; p90_s = seconds }
+             ~counters:[ ("traffic.total_bytes", Traffic.total traffic) ]
+             "transfer");
         Printf.printf "%8d %9.1f ms %12d B\n" (k + 1) (seconds *. 1000.0)
           (Traffic.total traffic);
         (k, seconds))
@@ -68,6 +76,16 @@ let traffic_roles ~quick () =
         Protocol.expected_bytes Protocol.Final ~k ~bits:l
           ~element_bytes:(Group.element_bytes grp)
       in
+      record "roles"
+        ~params:[ ("block", Json.Int (k + 1)) ]
+        ~counters:
+          [
+            ("sender_member_bytes", sender_member);
+            ("relay_recv_bytes", relay_recv);
+            ("receiver_member_bytes", receiver_member);
+            ("expected_sender_bytes", e_sender);
+            ("expected_receiver_bytes", e_receiver);
+          ];
       Printf.printf "%8d | %9d (=%d calc) | %18d | %8d (=%d calc)\n" (k + 1) sender_member
         e_sender relay_recv receiver_member e_receiver)
     ks;
@@ -82,6 +100,14 @@ let strawman_ablation ~quick:_ () =
   List.iter
     (fun (name, variant, leak) ->
       let seconds, traffic = run_one ~k ~variant in
+      emit
+        (Bench_result.make_result
+           ~params:[ ("block", Json.Int (k + 1)) ]
+           ~wall:
+             { Bench_result.median_s = seconds; min_s = seconds;
+               p10_s = seconds; p90_s = seconds }
+           ~counters:[ ("traffic.total_bytes", Traffic.total traffic) ]
+           name);
       Printf.printf "%-12s %9.1f ms %12d B %s\n" name (seconds *. 1000.0)
         (Traffic.total traffic) leak)
     [
@@ -95,6 +121,8 @@ let strawman_ablation ~quick:_ () =
   let eb = Group.element_bytes grp in
   let with_opt = Exp_elgamal.multi_ciphertext_bytes grp (20 * 16) in
   let without = 20 * 16 * 2 * eb in
+  record "kurosawa"
+    ~counters:[ ("bundle_bytes_shared", with_opt); ("bundle_bytes_naive", without) ];
   Printf.printf "  one sender bundle: %d B with shared ephemeral vs %d B without (x%.2f)\n"
     with_opt without
     (float_of_int without /. float_of_int with_opt)

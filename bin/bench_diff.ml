@@ -1,0 +1,56 @@
+(* bench_diff: compare two benchmark result files and gate regressions.
+
+   Exit status: 0 when the new results are acceptable (only informational
+   deltas), 1 when a deterministic counter changed or a wall-time median
+   regressed beyond the threshold, 2 on usage or parse errors. *)
+
+open Cmdliner
+module Bench_result = Dstress_obs.Bench_result
+module Bench_diff = Dstress_obs.Bench_diff
+
+let read path =
+  match Bench_result.read_file path with
+  | Ok doc -> doc
+  | Error msg ->
+      Printf.eprintf "bench_diff: %s: %s\n" path msg;
+      exit 2
+
+let run old_path new_path threshold counters_only =
+  if threshold <= 0.0 then begin
+    Printf.eprintf "bench_diff: --threshold must be positive\n";
+    exit 2
+  end;
+  let old_doc = read old_path and new_doc = read new_path in
+  let report = Bench_diff.compare_docs ~threshold ~counters_only old_doc new_doc in
+  Format.printf "%a@." Bench_diff.pp report;
+  if Bench_diff.ok report then 0 else 1
+
+let old_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"OLD.json" ~doc:"Baseline results.")
+
+let new_arg =
+  Arg.(required & pos 1 (some file) None & info [] ~docv:"NEW.json" ~doc:"New results.")
+
+let threshold_arg =
+  Arg.(
+    value & opt float 0.25
+    & info [ "threshold" ] ~docv:"FRACTION"
+        ~doc:
+          "Fractional wall-time median increase tolerated before a row fails \
+           (default 0.25 = 25%). Deterministic counters are always gated exactly.")
+
+let counters_only_arg =
+  Arg.(
+    value & flag
+    & info [ "counters-only" ]
+        ~doc:
+          "Gate only deterministic counters; ignore wall-time and throughput \
+           deltas entirely. Use when comparing runs from different machines.")
+
+let cmd =
+  let doc = "compare two dstress benchmark JSON files and flag regressions" in
+  Cmd.v
+    (Cmd.info "bench_diff" ~doc)
+    Term.(const run $ old_arg $ new_arg $ threshold_arg $ counters_only_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -20,14 +20,32 @@ DSTRESS_JOBS=1 dune runtest
 echo "== dune runtest (parallel executor, 4 domains) =="
 DSTRESS_JOBS=4 dune runtest --force
 
-echo "== bench smoke (fig3-left + executor + gmw-slice, quick) =="
-dune exec bench/main.exe -- --quick fig3-left executor gmw-slice
+CI_TMP="$(mktemp -d)"
+trap 'rm -rf "$CI_TMP"' EXIT
+
+# The full quick suite, exported through the typed result schema. The
+# export must decode as a dstress-bench/1 document, a self-compare must
+# report zero deltas, and the seed-deterministic counters (AND gates,
+# OT batches, traffic bytes, ...) must exactly match the committed
+# baselines — wall-clock numbers are machine-dependent and not gated
+# here (see bin/bench_diff.ml --threshold for same-machine gating).
+echo "== bench (quick, all suites, --json) =="
+dune exec bench/main.exe -- --quick --json "$CI_TMP/bench.json"
+dune exec test/json_check.exe -- --bench "$CI_TMP/bench.json"
+
+echo "== bench_diff self-compare =="
+dune exec bin/bench_diff.exe -- "$CI_TMP/bench.json" "$CI_TMP/bench.json"
+
+echo "== bench_diff counter drift vs committed baselines =="
+for baseline in bench/baselines/BENCH_*.json; do
+  echo "-- $baseline"
+  dune exec bin/bench_diff.exe -- --counters-only "$baseline" "$CI_TMP/bench.json"
+done
 
 # Observability smoke: the same faulty run under both executors must
 # export byte-identical trace/metrics files, and both must parse as JSON.
 echo "== obs smoke (trace/metrics determinism across executors) =="
-OBS_TMP="$(mktemp -d)"
-trap 'rm -rf "$OBS_TMP"' EXIT
+OBS_TMP="$CI_TMP"
 for jobs in 1 4; do
   dune exec bin/dstress.exe -- stress --core 2 --periphery 3 -i 2 \
     --fault-crashes 2 --jobs "$jobs" --slice-width 64 --obs-level full \

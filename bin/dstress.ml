@@ -116,6 +116,7 @@ let slice_width_arg =
 (* ------------------------------------------------------------------ *)
 
 module Obs = Dstress_obs.Obs
+module Prof = Dstress_obs.Prof
 
 let obs_level_arg =
   Arg.(
@@ -146,17 +147,40 @@ let metrics_arg =
           "Write the run's metrics registry to FILE: CSV when FILE ends in .csv, \
            JSON otherwise.")
 
-(* --trace/--metrics without --obs-level means the user wants the data:
+let trace_wall_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-wall" ] ~docv:"FILE"
+        ~doc:
+          "Write the run's span trace on the measured wall-clock timeline instead \
+           of simulated ticks. Unlike --trace this output varies run to run; it is \
+           only produced when this flag is given.")
+
+let profile_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "profile" ] ~docv:"FILE"
+        ~doc:
+          "Aggregate span wall-times into a hot-spot profile: a human table when \
+           FILE is -, JSON otherwise (per-label self/total seconds and counts).")
+
+(* An export flag without --obs-level means the user wants the data:
    collect everything rather than silently writing empty exports. *)
-let effective_obs_level level ~trace ~metrics =
-  if level = Obs.Off && (trace <> None || metrics <> None) then Obs.Full else level
+let effective_obs_level level ~trace ~metrics ~trace_wall ~profile =
+  if
+    level = Obs.Off
+    && (trace <> None || metrics <> None || trace_wall <> None || profile <> None)
+  then Obs.Full
+  else level
 
 let write_file path contents =
   let oc = open_out path in
   output_string oc contents;
   close_out oc
 
-let export_obs ~trace ~metrics report =
+let export_obs ~trace ~metrics ~trace_wall ~profile report =
   let obs = report.Engine.obs in
   Option.iter (fun path -> write_file path (Obs.trace_json obs)) trace;
   Option.iter
@@ -166,7 +190,14 @@ let export_obs ~trace ~metrics report =
         else Obs.metrics_json obs
       in
       write_file path contents)
-    metrics
+    metrics;
+  Option.iter (fun path -> write_file path (Prof.trace_wall_json obs)) trace_wall;
+  Option.iter
+    (fun path ->
+      let prof = Prof.of_obs obs in
+      if path = "-" then Format.printf "%a@." (Prof.pp_table ?top_n:None) prof
+      else write_file path (Dstress_obs.Json.to_string (Prof.to_json prof)))
+    profile
 
 (* Fault plans are drawn against the concrete graph, so this runs after
    graph construction, just before the engine starts. *)
@@ -204,9 +235,10 @@ let make_network ~seed ~core ~periphery ~shock =
   (Banking.shock_en prng inst topo shock, topo)
 
 let stress model seed grpname k core periphery iterations epsilon shock reference_only
-    fault_rate fault_crashes max_retries backoff jobs slice_width obs_level trace metrics =
+    fault_rate fault_crashes max_retries backoff jobs slice_width obs_level trace metrics
+    trace_wall profile =
   let grp = Group.by_name grpname in
-  let obs_level = effective_obs_level obs_level ~trace ~metrics in
+  let obs_level = effective_obs_level obs_level ~trace ~metrics ~trace_wall ~profile in
   let inst, _ = make_network ~seed ~core ~periphery ~shock in
   match model with
   | `En ->
@@ -231,7 +263,7 @@ let stress model seed grpname k core periphery iterations epsilon shock referenc
         Printf.printf "DStress noised TDS:   $%.2f\n"
           (En_program.decode_output ~scale report.Engine.output);
         Format.printf "%a@." Engine.pp_report report;
-        export_obs ~trace ~metrics report
+        export_obs ~trace ~metrics ~trace_wall ~profile report
       end
   | `Egj ->
       let prng = Prng.of_int seed in
@@ -263,7 +295,7 @@ let stress model seed grpname k core periphery iterations epsilon shock referenc
         Printf.printf "DStress noised TDS:   $%.2f\n"
           (Egj_program.decode_output ~scale ~frac report.Engine.output);
         Format.printf "%a@." Engine.pp_report report;
-        export_obs ~trace ~metrics report
+        export_obs ~trace ~metrics ~trace_wall ~profile report
       end
 
 let model_arg =
@@ -280,7 +312,7 @@ let stress_cmd =
       const stress $ model_arg $ seed_arg $ group_arg $ k_arg $ core_arg $ periphery_arg
       $ iterations_arg $ epsilon_arg $ shock_arg $ reference_only_arg $ fault_rate_arg
       $ fault_crashes_arg $ max_retries_arg $ backoff_arg $ jobs_arg $ slice_width_arg
-      $ obs_level_arg $ trace_arg $ metrics_arg)
+      $ obs_level_arg $ trace_arg $ metrics_arg $ trace_wall_arg $ profile_arg)
 
 (* ------------------------------------------------------------------ *)
 (* project command                                                     *)

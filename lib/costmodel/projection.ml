@@ -1,6 +1,6 @@
 module Group = Dstress_crypto.Group
 module Prg = Dstress_crypto.Prg
-module Meter = Dstress_crypto.Meter
+module Xfer = Dstress_crypto.Xfer
 module Ot_ext = Dstress_crypto.Ot_ext
 module Circuit = Dstress_circuit.Circuit
 module En_program = Dstress_risk.En_program
@@ -17,16 +17,15 @@ let measure_units ?(mode = Ot_ext.Simulation) grp ~seed =
   (* OT unit: run a sizeable extension batch through one session pair. *)
   let sender_prg = Prg.of_string ("units-s:" ^ seed) in
   let receiver_prg = Prg.of_string ("units-r:" ^ seed) in
-  let meter = Meter.create () in
-  let session = Ot_ext.setup ~mode grp meter ~sender_prg ~receiver_prg in
-  Meter.reset meter;
+  let session = Ot_ext.setup ~mode grp (Xfer.create ()) ~sender_prg ~receiver_prg in
+  let meter = Xfer.create () in
   let batch = 20000 in
   let pairs = Array.make batch (false, true) in
   let choices = Array.init batch (fun i -> i land 1 = 0) in
   let t0 = Unix.gettimeofday () in
   ignore (Ot_ext.extend_bits session meter ~pairs ~choices);
   let ot_seconds = (Unix.gettimeofday () -. t0) /. float_of_int batch in
-  let bytes_per = float_of_int (Meter.total meter) /. float_of_int batch in
+  let bytes_per = float_of_int (Xfer.total meter) /. float_of_int batch in
   (* Exponentiation unit. *)
   let prg = Prg.of_string ("units-exp:" ^ seed) in
   let reps = 200 in

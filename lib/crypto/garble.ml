@@ -71,7 +71,7 @@ let execute ?(mode = Ot_ext.Crypto) grp meter circuit ~garbler_bits ~garbler_inp
   (* --- Wire: garbler -> evaluator ------------------------------- *)
   (* Tables. *)
   let table_bytes = 4 * label_bytes * !and_count in
-  Meter.add_a_to_b meter table_bytes;
+  Xfer.add_a_to_b meter table_bytes;
   (* Garbler's input labels and the (public) constant labels. *)
   let active = Array.make ngates (Bytes.create 0) in
   let garbler_label_count = ref 0 in
@@ -86,7 +86,7 @@ let execute ?(mode = Ot_ext.Crypto) grp meter circuit ~garbler_bits ~garbler_inp
           incr garbler_label_count
       | Circuit.Input _ | Circuit.Xor _ | Circuit.Not _ | Circuit.And _ -> ())
     gates;
-  Meter.add_a_to_b meter (!garbler_label_count * label_bytes);
+  Xfer.add_a_to_b meter (!garbler_label_count * label_bytes);
   (* Evaluator's input labels via OT (garbler = sender). *)
   let evaluator_wires =
     Array.of_list
@@ -110,7 +110,7 @@ let execute ?(mode = Ot_ext.Crypto) grp meter circuit ~garbler_bits ~garbler_inp
     Array.iteri (fun i (gid, _) -> active.(gid) <- received.(i)) evaluator_wires
   end;
   (* Output decode bits. *)
-  Meter.add_a_to_b meter ((Array.length circuit.Circuit.outputs + 7) / 8);
+  Xfer.add_a_to_b meter ((Array.length circuit.Circuit.outputs + 7) / 8);
   (* --- Evaluation (evaluator side) ------------------------------- *)
   let table_of = Hashtbl.create (max 1 !and_count) in
   List.iter (fun (gid, t) -> Hashtbl.replace table_of gid t) tables;

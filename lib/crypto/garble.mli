@@ -32,7 +32,7 @@ type result = {
 val execute :
   ?mode:Ot_ext.mode ->
   Group.t ->
-  Meter.t ->
+  Xfer.t ->
   Dstress_circuit.Circuit.t ->
   garbler_bits:int ->
   garbler_input:Dstress_util.Bitvec.t ->

@@ -37,7 +37,7 @@ let base_ot grp meter ~sender_prg ~receiver_prg ~m0 ~m1 ~choice =
   let x = Group.random_exponent receiver_prg grp in
   let pk_real = Group.pow_g grp x in
   let pk0 = if choice then Group.mul grp c (Group.inv grp pk_real) else pk_real in
-  Meter.add_b_to_a meter ebytes;
+  Xfer.add_b_to_a meter ebytes;
   (* Sender: reconstruct pk1 and encrypt each message to its key. *)
   let pk1 = Group.mul grp c (Group.inv grp pk0) in
   let encrypt_to pk m idx =
@@ -47,7 +47,7 @@ let base_ot grp meter ~sender_prg ~receiver_prg ~m0 ~m1 ~choice =
     (eph, xor_bytes m (kem_pad kem idx len))
   in
   let e0 = encrypt_to pk0 m0 0 and e1 = encrypt_to pk1 m1 1 in
-  Meter.add_a_to_b meter (2 * (ebytes + len));
+  Xfer.add_a_to_b meter (2 * (ebytes + len));
   (* Receiver: decrypt the chosen ciphertext with the real secret key. *)
   let eph, body = if choice then e1 else e0 in
   let kem = Group.pow grp eph x in

@@ -9,7 +9,7 @@
     Both parties run inside one process; each function takes both sides'
     PRGs and returns the receiver's output while metering the bytes the
     real protocol would exchange ([a] = sender, [b] = receiver in the
-    {!Meter} convention). *)
+    {!Xfer} convention). *)
 
 val random_point : Group.t -> string -> Group.elt
 (** Hash-to-group: a nothing-up-my-sleeve subgroup element whose discrete
@@ -17,7 +17,7 @@ val random_point : Group.t -> string -> Group.elt
 
 val base_ot :
   Group.t ->
-  Meter.t ->
+  Xfer.t ->
   sender_prg:Prg.t ->
   receiver_prg:Prg.t ->
   m0:bytes ->
@@ -30,7 +30,7 @@ val base_ot :
 
 val base_ot_bit :
   Group.t ->
-  Meter.t ->
+  Xfer.t ->
   sender_prg:Prg.t ->
   receiver_prg:Prg.t ->
   b0:bool ->

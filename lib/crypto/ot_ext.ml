@@ -61,20 +61,20 @@ let setup ?(mode = Crypto) grp meter ~sender_prg ~receiver_prg =
       | Crypto ->
           (* The meter convention stays (a = extension sender), so meter
              through a flipped sub-meter. *)
-          let sub = Meter.create () in
+          let sub = Xfer.create () in
           let out =
             Ot.base_ot grp sub ~sender_prg:receiver_prg ~receiver_prg:sender_prg
               ~m0:k0 ~m1:k1 ~choice:s.(i)
           in
-          Meter.add_b_to_a meter sub.Meter.a_to_b;
-          Meter.add_a_to_b meter sub.Meter.b_to_a;
+          Xfer.add_b_to_a meter (Xfer.a_to_b sub);
+          Xfer.add_a_to_b meter (Xfer.b_to_a sub);
           out
       | Simulation ->
           (* Ideal base-OT functionality; meter the bytes the real base OT
              would have moved (receiver key + two ciphertexts). *)
           let ebytes = Group.element_bytes grp in
-          Meter.add_a_to_b meter ebytes;
-          Meter.add_b_to_a meter (2 * (ebytes + seed_bytes));
+          Xfer.add_a_to_b meter ebytes;
+          Xfer.add_b_to_a meter (2 * (ebytes + seed_bytes));
           if s.(i) then k1 else k0
     in
     recv_cols0.(i) <- colgen_of_seed mode k0;
@@ -153,7 +153,7 @@ let run_matrix session meter choices =
   let t_cols = Array.map expand session.recv_cols0 in
   let w_cols = Array.map expand session.recv_cols1 in
   (* u_i = t_i xor w_i xor r is sent to the sender: kappa * m bits. *)
-  Meter.add_b_to_a meter (kappa * ((m + 7) / 8));
+  Xfer.add_b_to_a meter (kappa * ((m + 7) / 8));
   let q_cols =
     Array.init kappa (fun i ->
         let own = expand session.sender_cols.(i) in
@@ -194,7 +194,7 @@ let extend session meter ~pairs ~choices =
           let x0, x1 = pairs.(j) in
           (xor_bytes x0 (hash (base + j) q len), xor_bytes x1 (hash (base + j) q_xor_s len)))
     in
-    Meter.add_a_to_b meter (2 * m * len);
+    Xfer.add_a_to_b meter (2 * m * len);
     (* Receiver unmasks the chosen message with its t-row. *)
     Array.init m (fun j ->
         let y0, y1 = masked.(j) in
@@ -242,7 +242,7 @@ let extend_bits_fast session meter ~pairs ~choices =
     choices;
   let t_cols = Array.map (fun g -> fast_words g mwords) session.recv_cols0 in
   let w_cols = Array.map (fun g -> fast_words g mwords) session.recv_cols1 in
-  Meter.add_b_to_a meter (kappa * ((m + 7) / 8));
+  Xfer.add_b_to_a meter (kappa * ((m + 7) / 8));
   let q_cols =
     Array.init kappa (fun i ->
         let own = fast_words session.sender_cols.(i) mwords in
@@ -256,7 +256,7 @@ let extend_bits_fast session meter ~pairs ~choices =
   let t_rows = transpose_columns t_cols ~mwords ~m in
   let base = session.index in
   session.index <- session.index + m;
-  Meter.add_a_to_b meter (2 * ((m + 7) / 8));
+  Xfer.add_a_to_b meter (2 * ((m + 7) / 8));
   let s0 = session.s_words.(0) and s1 = session.s_words.(1) in
   let bit_of seed = Int64.logand seed 1L = 1L in
   Array.init m (fun j ->
@@ -279,7 +279,7 @@ let extend_bits session meter ~pairs ~choices =
         let base = session.index in
         session.index <- session.index + m;
         (* Two packed bit vectors from sender to receiver. *)
-        Meter.add_a_to_b meter (2 * ((m + 7) / 8));
+        Xfer.add_a_to_b meter (2 * ((m + 7) / 8));
         let hash_bit j row = Char.code (Bytes.get (sha_row_hash j row 1) 0) land 1 = 1 in
         Array.init m (fun j ->
             let q = row_of q_cols j in
@@ -316,8 +316,8 @@ let extend_words session meter ~width ~pairs ~choices =
         let lane_mask =
           if width = 64 then -1L else Int64.sub (Int64.shift_left 1L width) 1L
         in
-        Meter.add_b_to_a meter (kappa * ((total + 7) / 8));
-        Meter.add_a_to_b meter (2 * ((total + 7) / 8));
+        Xfer.add_b_to_a meter (kappa * ((total + 7) / 8));
+        Xfer.add_a_to_b meter (2 * ((total + 7) / 8));
         session.index <- session.index + total;
         Array.init m (fun g ->
             let x0, x1 = pairs.(g) in

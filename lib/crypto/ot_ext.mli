@@ -33,26 +33,26 @@ type mode = Crypto | Simulation
 type session
 
 val setup :
-  ?mode:mode -> Group.t -> Meter.t -> sender_prg:Prg.t -> receiver_prg:Prg.t -> session
+  ?mode:mode -> Group.t -> Xfer.t -> sender_prg:Prg.t -> receiver_prg:Prg.t -> session
 (** Runs the [kappa] base OTs (with reversed roles, per IKNP) and installs
     the column PRGs. Default mode is [Crypto]. *)
 
 val extend :
-  session -> Meter.t -> pairs:(bytes * bytes) array -> choices:bool array -> bytes array
+  session -> Xfer.t -> pairs:(bytes * bytes) array -> choices:bool array -> bytes array
 (** [extend s meter ~pairs ~choices] performs [Array.length pairs] OTs and
     returns the receiver's outputs. All messages must share one length;
     [pairs] and [choices] must have equal lengths.
     Raises [Invalid_argument] otherwise. *)
 
 val extend_bits :
-  session -> Meter.t -> pairs:(bool * bool) array -> choices:bool array -> bool array
+  session -> Xfer.t -> pairs:(bool * bool) array -> choices:bool array -> bool array
 (** Bit-message fast path used by the GMW AND gates: messages are single
     bits and the wire format packs them, so the metered traffic is
     [kappa/8] bytes per OT plus two packed bit vectors. *)
 
 val extend_words :
   session ->
-  Meter.t ->
+  Xfer.t ->
   width:int ->
   pairs:(int64 * int64) array ->
   choices:int64 array ->

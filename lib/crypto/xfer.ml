@@ -1,0 +1,19 @@
+module Metrics = Dstress_obs.Obs.Metrics
+
+type t = Metrics.t
+
+let key_a_to_b = "xfer.a_to_b"
+let key_b_to_a = "xfer.b_to_a"
+
+let create () = Metrics.create ()
+
+let add_a_to_b t n = Metrics.incr ~by:n t key_a_to_b
+let add_b_to_a t n = Metrics.incr ~by:n t key_b_to_a
+
+let a_to_b t = Metrics.counter t key_a_to_b
+let b_to_a t = Metrics.counter t key_b_to_a
+let total t = a_to_b t + b_to_a t
+
+let metrics t = t
+
+let pp ppf t = Format.fprintf ppf "a->b: %d B, b->a: %d B" (a_to_b t) (b_to_a t)

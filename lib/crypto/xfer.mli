@@ -1,0 +1,31 @@
+(** Two-way traffic accounting for a pair of protocol parties, backed by
+    the {!Dstress_obs.Obs.Metrics} registry.
+
+    The pairwise crypto primitives ({!Ot}, {!Ot_ext}, {!Garble}) charge
+    every wire byte they would send to one of these: [a] is the protocol
+    sender/garbler, [b] the receiver/evaluator. Callers create one
+    short-lived [Xfer.t] per exchange and fold it into phase-attributed
+    accounting (a {!Dstress_mpc.Traffic} matrix, a run-wide registry via
+    {!metrics} and [Obs.Metrics.merge_into]) — there is deliberately no
+    [reset]: in-place resetting is what loses attribution. *)
+
+type t
+
+val create : unit -> t
+
+val add_a_to_b : t -> int -> unit
+(** Charge bytes on the a→b direction (sender/garbler to receiver). *)
+
+val add_b_to_a : t -> int -> unit
+
+val a_to_b : t -> int
+val b_to_a : t -> int
+
+val total : t -> int
+(** [a_to_b + b_to_a]. *)
+
+val metrics : t -> Dstress_obs.Obs.Metrics.t
+(** The backing registry — two counters, [xfer.a_to_b] and [xfer.b_to_a]
+    — for merging an exchange into a run-wide registry. *)
+
+val pp : Format.formatter -> t -> unit

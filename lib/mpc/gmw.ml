@@ -1,6 +1,6 @@
 module Bitvec = Dstress_util.Bitvec
 module Prg = Dstress_crypto.Prg
-module Meter = Dstress_crypto.Meter
+module Xfer = Dstress_crypto.Xfer
 module Ot_ext = Dstress_crypto.Ot_ext
 module Circuit = Dstress_circuit.Circuit
 
@@ -35,23 +35,23 @@ let create_session ?(mode = Ot_ext.Crypto) grp ~parties ~seed =
 
 let parties s = s.n
 
-(* Fold a pairwise meter (a = sender, b = receiver) into the traffic
-   matrix and reset it. *)
-let drain_meter s meter ~sender ~receiver =
-  Traffic.add s.traffic ~src:sender ~dst:receiver meter.Meter.a_to_b;
-  Traffic.add s.traffic ~src:receiver ~dst:sender meter.Meter.b_to_a;
-  Meter.reset meter
+(* Fold a pairwise transfer account (a = sender, b = receiver) into the
+   traffic matrix. Each exchange uses a fresh account, so attribution is
+   exact — nothing is reset in place. *)
+let drain_xfer s xfer ~sender ~receiver =
+  Traffic.add s.traffic ~src:sender ~dst:receiver (Xfer.a_to_b xfer);
+  Traffic.add s.traffic ~src:receiver ~dst:sender (Xfer.b_to_a xfer)
 
 let ot_session s ~sender ~receiver =
   match s.ot.(sender).(receiver) with
   | Some session -> session
   | None ->
-      let meter = Meter.create () in
+      let xfer = Xfer.create () in
       let session =
-        Ot_ext.setup ~mode:s.mode s.grp meter ~sender_prg:s.prgs.(sender)
+        Ot_ext.setup ~mode:s.mode s.grp xfer ~sender_prg:s.prgs.(sender)
           ~receiver_prg:s.prgs.(receiver)
       in
-      drain_meter s meter ~sender ~receiver;
+      drain_xfer s xfer ~sender ~receiver;
       s.ot.(sender).(receiver) <- Some session;
       session
 
@@ -80,9 +80,9 @@ let and_round s vals pending xs ys =
         let masks = Array.init m (fun idx -> Char.code (Bytes.get raw idx) land 1 = 1) in
         let pairs = Array.init m (fun idx -> (masks.(idx), masks.(idx) <> xs.(sender).(idx))) in
         let choices = Array.init m (fun idx -> ys.(receiver).(idx)) in
-        let meter = Meter.create () in
-        let outs = Ot_ext.extend_bits session meter ~pairs ~choices in
-        drain_meter s meter ~sender ~receiver;
+        let xfer = Xfer.create () in
+        let outs = Ot_ext.extend_bits session xfer ~pairs ~choices in
+        drain_xfer s xfer ~sender ~receiver;
         Array.iteri
           (fun idx w ->
             vals.(sender).(w) <- vals.(sender).(w) <> masks.(idx);
@@ -192,7 +192,6 @@ let eval_sliced plan sessions input_shares =
         done
   in
   Array.iter apply (Plan.prologue plan);
-  let scratch = Meter.create () in
   Array.iter
     (fun (lv : Plan.level) ->
       let dst = lv.Plan.and_dst and wa = lv.Plan.and_a and wb = lv.Plan.and_b in
@@ -225,8 +224,11 @@ let eval_sliced plan sessions input_shares =
             in
             let choices = Array.init m (fun g -> vr.(wb.(g))) in
             let carrier = ot_session s0 ~sender ~receiver in
-            let outs = Ot_ext.extend_words carrier scratch ~width:slots ~pairs ~choices in
-            Meter.reset scratch;
+            (* The bulk transfer is re-attributed per slot below, so the
+               carrier's own account is a discarded scratch. *)
+            let outs =
+              Ot_ext.extend_words carrier (Xfer.create ()) ~width:slots ~pairs ~choices
+            in
             for g = 0 to m - 1 do
               let w = dst.(g) in
               vs.(w) <- Int64.logxor vs.(w) masks.(g);

@@ -1,0 +1,258 @@
+type severity = Info | Fail
+
+type delta = {
+  suite : string;
+  key : string;
+  metric : string;
+  detail : string;
+  severity : severity;
+}
+
+type report = { deltas : delta list; compared : int }
+
+let pct_change ~old_v ~new_v =
+  if old_v = 0.0 then if new_v = 0.0 then 0.0 else infinity
+  else (new_v -. old_v) /. old_v *. 100.0
+
+let render_pct ~old_v ~new_v =
+  Printf.sprintf "%.6g -> %.6g (%+.1f%%)" old_v new_v (pct_change ~old_v ~new_v)
+
+(* Compare two sorted (name, value) association lists, emitting one delta
+   per name whose value appears, disappears or changes. *)
+let assoc_deltas ~suite ~key ~prefix ~severity ~render ~equal old_kvs new_kvs =
+  let mk metric detail =
+    { suite; key; metric = prefix ^ ":" ^ metric; detail; severity }
+  in
+  let rec go acc old_kvs new_kvs =
+    match (old_kvs, new_kvs) with
+    | [], [] -> List.rev acc
+    | (k, v) :: rest, [] ->
+        go (mk k (Printf.sprintf "removed (was %s)" (render v)) :: acc) rest []
+    | [], (k, v) :: rest ->
+        go (mk k (Printf.sprintf "added (now %s)" (render v)) :: acc) [] rest
+    | (ko, vo) :: resto, (kn, vn) :: restn ->
+        if ko < kn then
+          go (mk ko (Printf.sprintf "removed (was %s)" (render vo)) :: acc) resto new_kvs
+        else if kn < ko then
+          go (mk kn (Printf.sprintf "added (now %s)" (render vn)) :: acc) old_kvs restn
+        else if equal vo vn then go acc resto restn
+        else
+          go (mk ko (Printf.sprintf "%s -> %s" (render vo) (render vn)) :: acc) resto restn
+  in
+  go [] old_kvs new_kvs
+
+let wall_deltas ~suite ~key ~threshold (old_r : Bench_result.result)
+    (new_r : Bench_result.result) =
+  match (old_r.wall, new_r.wall) with
+  | None, None -> []
+  | Some w, None ->
+      [
+        {
+          suite;
+          key;
+          metric = "wall";
+          detail = Printf.sprintf "removed (was median %.6gs)" w.median_s;
+          severity = Info;
+        };
+      ]
+  | None, Some w ->
+      [
+        {
+          suite;
+          key;
+          metric = "wall";
+          detail = Printf.sprintf "added (now median %.6gs)" w.median_s;
+          severity = Info;
+        };
+      ]
+  | Some ow, Some nw ->
+      let median =
+        if ow.median_s = nw.median_s then []
+        else
+          let severity =
+            if nw.median_s > ow.median_s *. (1.0 +. threshold) then Fail
+            else Info
+          in
+          [
+            {
+              suite;
+              key;
+              metric = "wall.median_s";
+              detail = render_pct ~old_v:ow.median_s ~new_v:nw.median_s;
+              severity;
+            };
+          ]
+      in
+      let informational name old_v new_v =
+        if old_v = new_v then []
+        else
+          [
+            {
+              suite;
+              key;
+              metric = "wall." ^ name;
+              detail = render_pct ~old_v ~new_v;
+              severity = Info;
+            };
+          ]
+      in
+      median
+      @ informational "min_s" ow.min_s nw.min_s
+      @ informational "p10_s" ow.p10_s nw.p10_s
+      @ informational "p90_s" ow.p90_s nw.p90_s
+
+let throughput_deltas ~suite ~key (old_r : Bench_result.result)
+    (new_r : Bench_result.result) =
+  match (old_r.throughput, new_r.throughput) with
+  | Some (u, ov), Some (_, nv) when ov <> nv ->
+      [
+        {
+          suite;
+          key;
+          metric = "throughput." ^ u;
+          detail = render_pct ~old_v:ov ~new_v:nv;
+          severity = Info;
+        };
+      ]
+  | _ -> []
+
+let result_deltas ~suite ~threshold ~counters_only (old_r : Bench_result.result)
+    (new_r : Bench_result.result) =
+  let key = Bench_result.key old_r in
+  let counters =
+    assoc_deltas ~suite ~key ~prefix:"counter" ~severity:Fail
+      ~render:string_of_int ~equal:Int.equal old_r.counters new_r.counters
+  in
+  if counters_only then counters
+  else
+    counters
+    @ wall_deltas ~suite ~key ~threshold old_r new_r
+    @ throughput_deltas ~suite ~key old_r new_r
+    @ assoc_deltas ~suite ~key ~prefix:"float" ~severity:Info
+        ~render:(Printf.sprintf "%.6g")
+        ~equal:(fun (a : float) b -> a = b)
+        old_r.floats new_r.floats
+
+let suite_deltas ~threshold ~counters_only (old_s : Bench_result.suite)
+    (new_s : Bench_result.suite) =
+  let suite = old_s.suite in
+  let new_by_key =
+    List.map (fun r -> (Bench_result.key r, r)) new_s.results
+  in
+  let seen = Hashtbl.create 16 in
+  let compared = ref 0 in
+  let deltas =
+    List.concat_map
+      (fun old_r ->
+        let key = Bench_result.key old_r in
+        match List.assoc_opt key new_by_key with
+        | Some new_r ->
+            Hashtbl.replace seen key ();
+            incr compared;
+            result_deltas ~suite ~threshold ~counters_only old_r new_r
+        | None ->
+            [
+              {
+                suite;
+                key;
+                metric = "result";
+                detail = "missing from new run";
+                severity = Fail;
+              };
+            ])
+      old_s.results
+  in
+  (* New coverage is worth a line when comparing like for like, but in
+     counters-only mode (a partial baseline against a full run) it is
+     expected noise. *)
+  let added =
+    if counters_only then []
+    else
+      List.filter_map
+        (fun (key, _) ->
+          if Hashtbl.mem seen key then None
+          else
+            Some
+              { suite; key; metric = "result"; detail = "new row"; severity = Info })
+        new_by_key
+  in
+  (deltas @ added, !compared)
+
+let compare_docs ?(threshold = 0.25) ?(counters_only = false)
+    (old_d : Bench_result.doc) (new_d : Bench_result.doc) =
+  let mode_warn =
+    if old_d.mode = new_d.mode then []
+    else
+      [
+        {
+          suite = "";
+          key = "";
+          metric = "mode";
+          detail =
+            Printf.sprintf "comparing %S against %S runs" old_d.mode new_d.mode;
+          severity = Info;
+        };
+      ]
+  in
+  let seen = Hashtbl.create 16 in
+  let compared = ref 0 in
+  let deltas =
+    List.concat_map
+      (fun (old_s : Bench_result.suite) ->
+        match
+          List.find_opt
+            (fun (s : Bench_result.suite) -> s.suite = old_s.suite)
+            new_d.suites
+        with
+        | Some new_s ->
+            Hashtbl.replace seen old_s.suite ();
+            let ds, n = suite_deltas ~threshold ~counters_only old_s new_s in
+            compared := !compared + n;
+            ds
+        | None ->
+            [
+              {
+                suite = old_s.suite;
+                key = "";
+                metric = "suite";
+                detail = "missing from new run";
+                severity = Fail;
+              };
+            ])
+      old_d.suites
+  in
+  let added =
+    if counters_only then []
+    else
+      List.filter_map
+        (fun (s : Bench_result.suite) ->
+          if Hashtbl.mem seen s.suite then None
+          else
+            Some
+              {
+                suite = s.suite;
+                key = "";
+                metric = "suite";
+                detail = "new suite";
+                severity = Info;
+              })
+        new_d.suites
+  in
+  { deltas = mode_warn @ deltas @ added; compared = !compared }
+
+let ok r = List.for_all (fun d -> d.severity <> Fail) r.deltas
+
+let pp ppf r =
+  List.iter
+    (fun d ->
+      Format.fprintf ppf "%s %s%s%s: %s@."
+        (match d.severity with Fail -> "FAIL" | Info -> "info")
+        (if d.suite = "" then "" else d.suite ^ "/")
+        (if d.key = "" then "" else d.key ^ " ")
+        d.metric d.detail)
+    r.deltas;
+  let fails =
+    List.length (List.filter (fun d -> d.severity = Fail) r.deltas)
+  in
+  Format.fprintf ppf "%d rows compared, %d deltas (%d failing)@." r.compared
+    (List.length r.deltas) fails

@@ -1,0 +1,47 @@
+(** Compare two {!Bench_result} documents and gate regressions.
+
+    The comparison embodies the telemetry split documented in
+    {!Bench_result}: wall-clock metrics are gated by a relative
+    [threshold] (machine noise is expected), deterministic counters are
+    gated exactly (any change is a protocol-behaviour drift), and other
+    floats are reported but never gated. [~counters_only:true] restricts
+    gating {e and} reporting to counters — the mode used to compare a
+    fresh run against a baseline committed from different hardware. *)
+
+type severity =
+  | Info  (** reported, never affects the verdict *)
+  | Fail  (** makes the comparison fail *)
+
+type delta = {
+  suite : string;
+  key : string;  (** row identity within the suite ({!Bench_result.key}) *)
+  metric : string;  (** e.g. [wall.median_s], [counter:mpc.and_gates] *)
+  detail : string;  (** human rendering: old → new and relative change *)
+  severity : severity;
+}
+
+type report = {
+  deltas : delta list;
+  compared : int;  (** result rows present in both documents *)
+}
+
+val compare_docs :
+  ?threshold:float -> ?counters_only:bool -> Bench_result.doc -> Bench_result.doc -> report
+(** [compare_docs ~threshold old new_]. Defaults: [threshold = 0.25],
+    [counters_only = false]. Produces one {!delta} per difference:
+
+    - a row or suite present in [old] but missing from [new_] is a [Fail];
+      rows only in [new_] are [Info] (new coverage);
+    - a counter whose value changes, appears or disappears is a [Fail];
+    - [wall.median_s] increasing by more than [threshold] relative is a
+      [Fail]; any other wall/throughput/float change is [Info];
+    - comparing documents with different [mode] fields adds an [Info]
+      warning (quick vs full runs are not comparable).
+
+    Identical documents produce an empty [deltas] list. *)
+
+val ok : report -> bool
+(** No [Fail] deltas. *)
+
+val pp : Format.formatter -> report -> unit
+(** One line per delta (prefixed [FAIL]/[info]) and a summary line. *)

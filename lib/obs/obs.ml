@@ -13,11 +13,9 @@ let level_of_string = function
 (* ------------------------------------------------------------------ *)
 
 module Metrics = struct
-  type value =
-    | Counter of int
-    | Sum of float
-    | Gauge of float
-    | Hist of { count : int; total : float; min : float; max : float }
+  type histogram = { count : int; total : float; min : float; max : float }
+
+  type value = Counter of int | Sum of float | Gauge of float | Hist of histogram
 
   type t = { tbl : (string, value) Hashtbl.t }
 
@@ -71,6 +69,14 @@ module Metrics = struct
     | Some (Sum s) | Some (Gauge s) -> s
     | Some _ -> kind_error name
 
+  let hist t name =
+    match Hashtbl.find_opt t.tbl name with
+    | None -> None
+    | Some (Hist h) -> Some h
+    | Some _ -> kind_error name
+
+  let hist_mean h = if h.count = 0 then 0.0 else h.total /. float_of_int h.count
+
   let names t = Hashtbl.fold (fun k _ acc -> k :: acc) t.tbl [] |> List.sort compare
 
   let merge_into ~dst src =
@@ -105,6 +111,7 @@ module Metrics = struct
           [
             ("count", Json.Int h.count);
             ("total", Json.Num h.total);
+            ("mean", Json.Num (hist_mean h));
             ("min", Json.Num h.min);
             ("max", Json.Num h.max);
           ]
@@ -127,8 +134,9 @@ module Metrics = struct
           | Gauge g -> ("gauge", float_csv g)
           | Hist h ->
               ( "hist",
-                Printf.sprintf "count=%d;total=%s;min=%s;max=%s" h.count (float_csv h.total)
-                  (float_csv h.min) (float_csv h.max) )
+                Printf.sprintf "count=%d;total=%s;mean=%s;min=%s;max=%s" h.count
+                  (float_csv h.total) (float_csv (hist_mean h)) (float_csv h.min)
+                  (float_csv h.max) )
         in
         Buffer.add_string buf (Printf.sprintf "%s,%s,%s\n" name kind value))
       (names t);
@@ -139,7 +147,14 @@ end
 (* Span collector                                                      *)
 (* ------------------------------------------------------------------ *)
 
-type span = { name : string; start : int; dur : int; depth : int; wall : float }
+type span = {
+  name : string;
+  start : int;
+  dur : int;
+  depth : int;
+  wall : float;
+  wall_start : float;
+}
 
 type open_span = { oname : string; ostart : int; odepth : int; owall : float }
 
@@ -197,6 +212,7 @@ let leave t =
             dur = t.cursor - o.ostart;
             depth = o.odepth;
             wall = Unix.gettimeofday () -. o.owall;
+            wall_start = o.owall;
           }
           :: t.closed
 

@@ -44,11 +44,13 @@ val level_of_string : string -> level option
     emission under a name fixes its kind; mixing kinds under one name
     raises [Invalid_argument]. *)
 module Metrics : sig
+  type histogram = { count : int; total : float; min : float; max : float }
+
   type value =
     | Counter of int  (** additive integer count *)
     | Sum of float  (** additive float accumulator *)
     | Gauge of float  (** last-write-wins float *)
-    | Hist of { count : int; total : float; min : float; max : float }
+    | Hist of histogram
 
   type t
 
@@ -65,6 +67,14 @@ module Metrics : sig
   val sum : t -> string -> float
   (** 0. when absent; reads [Sum] and [Gauge] values. *)
 
+  val hist : t -> string -> histogram option
+  (** [None] when absent; raises [Invalid_argument] on a non-histogram.
+      Lets consumers (bench harness, profiler) read distributions without
+      pattern-matching {!value} internals. *)
+
+  val hist_mean : histogram -> float
+  (** [total /. count]; 0. for an (impossible) empty histogram. *)
+
   val names : t -> string list
   (** Sorted. *)
 
@@ -74,6 +84,8 @@ module Metrics : sig
       deterministic. *)
 
   val to_json : t -> Json.t
+  (** Histograms carry the derived [mean] alongside count/total/min/max. *)
+
   val to_csv : t -> string
 end
 
@@ -85,6 +97,11 @@ type span = {
                     enclosing span at [depth - 1] *)
   wall : float;  (** measured wall-clock seconds — informational only,
                      excluded from deterministic exports *)
+  wall_start : float;
+      (** absolute [Unix.gettimeofday] at {!enter} — feeds the opt-in
+          wall-clock exports in {!Prof}; like [wall], never part of the
+          deterministic tick-based exports. Unchanged by {!merge_into}
+          (all collectors of a process share one clock). *)
 }
 
 type t

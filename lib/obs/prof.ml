@@ -1,0 +1,203 @@
+type node = {
+  label : string;
+  count : int;
+  total_s : float;
+  self_s : float;
+  children : node list;
+}
+
+type t = { roots : node list; wall_total_s : float }
+
+(* ------------------------------------------------------------------ *)
+(* Tree reconstruction                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* A raw (unaggregated) tree node: one span plus its children in
+   timeline order. *)
+type raw = { span : Obs.span; kids : raw list }
+
+(* [Obs.spans] lists spans in close order: a parent closes after its
+   children, siblings close in timeline order. So a single left-to-right
+   pass can reparent greedily: keep, per depth, the nodes still waiting
+   for a parent; a span at depth [d] adopts everything waiting at depth
+   [d + 1]. Spans still open at capture never appear, so their closed
+   children may be left waiting — those become extra roots. *)
+let build_raw spans =
+  let pending : (int, raw list) Hashtbl.t = Hashtbl.create 8 in
+  let take d =
+    match Hashtbl.find_opt pending d with
+    | None -> []
+    | Some rs ->
+        Hashtbl.remove pending d;
+        List.rev rs
+  in
+  let put d r =
+    Hashtbl.replace pending d
+      (r :: (match Hashtbl.find_opt pending d with None -> [] | Some rs -> rs))
+  in
+  List.iter
+    (fun (s : Obs.span) -> put s.depth { span = s; kids = take (s.depth + 1) })
+    spans;
+  let depths = Hashtbl.fold (fun d _ acc -> d :: acc) pending [] in
+  List.concat_map take (List.sort compare depths)
+
+(* ------------------------------------------------------------------ *)
+(* Label aggregation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Merge same-label siblings, preserving first-appearance order. *)
+let rec aggregate (raws : raw list) : node list =
+  let order = ref [] in
+  let groups : (string, raw list) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun r ->
+      let label = r.span.Obs.name in
+      (match Hashtbl.find_opt groups label with
+      | None ->
+          order := label :: !order;
+          Hashtbl.replace groups label [ r ]
+      | Some rs -> Hashtbl.replace groups label (r :: rs)))
+    raws;
+  List.map
+    (fun label ->
+      let group = List.rev (Hashtbl.find groups label) in
+      let count = List.length group in
+      let total_s =
+        List.fold_left (fun acc r -> acc +. r.span.Obs.wall) 0.0 group
+      in
+      let children = aggregate (List.concat_map (fun r -> r.kids) group) in
+      let child_total =
+        List.fold_left (fun acc c -> acc +. c.total_s) 0.0 children
+      in
+      let self_s = Float.max 0.0 (total_s -. child_total) in
+      { label; count; total_s; self_s; children })
+    (List.rev !order)
+
+let of_spans spans =
+  let roots = aggregate (build_raw spans) in
+  let wall_total_s = List.fold_left (fun acc n -> acc +. n.total_s) 0.0 roots in
+  { roots; wall_total_s }
+
+let of_obs o = of_spans (Obs.spans o)
+
+(* ------------------------------------------------------------------ *)
+(* Flat report                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type flat = {
+  flat_label : string;
+  flat_count : int;
+  flat_self_s : float;
+  flat_total_s : float;
+}
+
+let flatten t =
+  let order = ref [] in
+  let acc : (string, flat) Hashtbl.t = Hashtbl.create 16 in
+  (* [ancestors] is the set of labels on the path to the root: a node
+     whose label already appears above it is recursion, and its total is
+     already counted by the outermost occurrence. *)
+  let rec walk ancestors n =
+    let outermost = not (List.mem n.label ancestors) in
+    (match Hashtbl.find_opt acc n.label with
+    | None ->
+        order := n.label :: !order;
+        Hashtbl.replace acc n.label
+          {
+            flat_label = n.label;
+            flat_count = n.count;
+            flat_self_s = n.self_s;
+            flat_total_s = (if outermost then n.total_s else 0.0);
+          }
+    | Some f ->
+        Hashtbl.replace acc n.label
+          {
+            f with
+            flat_count = f.flat_count + n.count;
+            flat_self_s = f.flat_self_s +. n.self_s;
+            flat_total_s =
+              (f.flat_total_s +. if outermost then n.total_s else 0.0);
+          });
+    List.iter (walk (n.label :: ancestors)) n.children
+  in
+  List.iter (walk []) t.roots;
+  List.rev_map (fun label -> Hashtbl.find acc label) !order
+  |> List.sort (fun a b ->
+         match compare b.flat_self_s a.flat_self_s with
+         | 0 -> compare a.flat_label b.flat_label
+         | c -> c)
+
+let top ?(n = 10) t = List.filteri (fun i _ -> i < n) (flatten t)
+
+(* ------------------------------------------------------------------ *)
+(* Exports                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let rec node_to_json n =
+  Json.Obj
+    [
+      ("label", Json.Str n.label);
+      ("count", Json.Int n.count);
+      ("total_s", Json.Num n.total_s);
+      ("self_s", Json.Num n.self_s);
+      ("children", Json.List (List.map node_to_json n.children));
+    ]
+
+let flat_to_json f =
+  Json.Obj
+    [
+      ("label", Json.Str f.flat_label);
+      ("count", Json.Int f.flat_count);
+      ("self_s", Json.Num f.flat_self_s);
+      ("total_s", Json.Num f.flat_total_s);
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("wall_total_s", Json.Num t.wall_total_s);
+      ("tree", Json.List (List.map node_to_json t.roots));
+      ("flat", Json.List (List.map flat_to_json (flatten t)));
+    ]
+
+let pp_table ?top_n ppf t =
+  let rows =
+    match top_n with None -> flatten t | Some n -> top ~n t
+  in
+  let pct s = if t.wall_total_s <= 0.0 then 0.0 else 100.0 *. s /. t.wall_total_s in
+  Format.fprintf ppf "%10s %6s %10s %6s %8s  %s@."
+    "self(s)" "self%" "total(s)" "tot%" "count" "label";
+  List.iter
+    (fun f ->
+      Format.fprintf ppf "%10.4f %5.1f%% %10.4f %5.1f%% %8d  %s@."
+        f.flat_self_s (pct f.flat_self_s) f.flat_total_s (pct f.flat_total_s)
+        f.flat_count f.flat_label)
+    rows;
+  Format.fprintf ppf "%10.4f %5.1f%% %s@." t.wall_total_s 100.0 "  (wall total)"
+
+let trace_wall_json o =
+  let spans = Obs.spans o in
+  let t0 =
+    List.fold_left
+      (fun acc (s : Obs.span) -> Float.min acc s.wall_start)
+      infinity spans
+  in
+  let event (s : Obs.span) =
+    Json.Obj
+      [
+        ("name", Json.Str s.name);
+        ("cat", Json.Str "dstress-wall");
+        ("ph", Json.Str "X");
+        ("ts", Json.Num ((s.wall_start -. t0) *. 1e6));
+        ("dur", Json.Num (s.wall *. 1e6));
+        ("pid", Json.Int 0);
+        ("tid", Json.Int 0);
+        ("args", Json.Obj [ ("depth", Json.Int s.depth) ]);
+      ]
+  in
+  Json.to_string
+    (Json.Obj
+       [
+         ("displayTimeUnit", Json.Str "ms");
+         ("traceEvents", Json.List (List.map event spans));
+       ])

@@ -1,0 +1,74 @@
+(** Wall-clock hot-spot profiler over {!Obs} spans.
+
+    {!Obs} records two timelines per span: the deterministic simulated-tick
+    one (what the protocol did — exported by {!Obs.trace_json} and pinned
+    byte-identical by [test/test_obs.ml]) and a measured wall-clock one
+    ([wall]/[wall_start] — what the machine did). This module is the only
+    consumer of the latter: it rebuilds the span tree from close order,
+    aggregates wall seconds per span label into a hierarchical profile
+    (self/total/count), flattens it into a top-N hot-spot report, and
+    exports all of it as JSON, a human table, or an opt-in wall-clock
+    Chrome trace ({!trace_wall_json}).
+
+    None of these exports are deterministic — they vary run to run with
+    machine load — so they are produced only on explicit request
+    ([dstress --profile], [--trace-wall]) and never mix with the
+    tick-based exports. *)
+
+(** One node of the label-aggregated profile tree. Sibling spans with the
+    same label merge into one node; recursion (a label nested under
+    itself) appears as a child node of the same label. *)
+type node = {
+  label : string;
+  count : int;  (** spans merged into this node *)
+  total_s : float;  (** wall seconds inside these spans, children included *)
+  self_s : float;
+      (** [total_s] minus the children's [total_s], clamped at 0 — wall
+          time attributable to this label itself. On a sequential run
+          children nest inside their parent so the clamp never fires;
+          merged parallel children can overlap and make it bind. *)
+  children : node list;  (** ordered by first appearance in the timeline *)
+}
+
+type t = {
+  roots : node list;
+  wall_total_s : float;  (** sum of the roots' [total_s] *)
+}
+
+val of_spans : Obs.span list -> t
+(** Build the profile from {!Obs.spans} output (siblings in timeline
+    order, parents after their children — the order {!Obs.leave}
+    produces). Spans still open at capture time are simply absent. *)
+
+val of_obs : Obs.t -> t
+(** [of_spans (Obs.spans o)]. *)
+
+(** One row of the flattened hot-spot report. *)
+type flat = {
+  flat_label : string;
+  flat_count : int;  (** all spans with this label, at any depth *)
+  flat_self_s : float;  (** summed over every node with this label *)
+  flat_total_s : float;
+      (** summed over outermost nodes only — a label nested under itself
+          is not double-counted *)
+}
+
+val flatten : t -> flat list
+(** All labels, sorted by [flat_self_s] descending (ties by label). *)
+
+val top : ?n:int -> t -> flat list
+(** First [n] (default 10) rows of {!flatten}. *)
+
+val to_json : t -> Json.t
+(** [{"wall_total_s": ..., "tree": [...], "flat": [...]}] — the full tree
+    (recursive [children]) plus the flat report. *)
+
+val pp_table : ?top_n:int -> Format.formatter -> t -> unit
+(** Human hot-spot table: one row per {!flat} entry ([top_n] defaults to
+    all), with self/total seconds and percent-of-run columns. *)
+
+val trace_wall_json : Obs.t -> string
+(** Chrome [trace_event] export on the {e wall-clock} timeline:
+    [ts]/[dur] in microseconds relative to the earliest [wall_start].
+    The wall-clock sibling of {!Obs.trace_json}; never byte-stable across
+    runs, so only produced when explicitly requested. *)

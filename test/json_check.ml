@@ -1,7 +1,9 @@
 (* Validate that each file named on the command line parses as JSON
    (using the same strict parser the exporters are tested against).
-   Exits nonzero on the first malformed file — used by bin/ci.sh to
-   smoke-check `dstress stress --trace/--metrics` output. *)
+   With --bench, additionally require each file to decode as a
+   dstress-bench/1 result document. Exits nonzero on the first
+   malformed file — used by bin/ci.sh to smoke-check the
+   `dstress stress --trace/--metrics` and `bench --json` outputs. *)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -11,13 +13,24 @@ let read_file path =
 
 let () =
   let ok = ref true in
+  let bench = ref false in
   Array.iteri
     (fun i path ->
       if i > 0 then
-        match Dstress_obs.Json.parse (read_file path) with
-        | Ok _ -> Printf.printf "%s: valid JSON\n" path
-        | Error e ->
-            Printf.eprintf "%s: %s\n" path e;
-            ok := false)
+        if path = "--bench" then bench := true
+        else
+          match Dstress_obs.Json.parse (read_file path) with
+          | Error e ->
+              Printf.eprintf "%s: %s\n" path e;
+              ok := false
+          | Ok _ when not !bench -> Printf.printf "%s: valid JSON\n" path
+          | Ok json -> (
+              match Dstress_obs.Bench_result.of_json json with
+              | Ok doc ->
+                  Printf.printf "%s: valid bench document (%d suite(s))\n" path
+                    (List.length doc.Dstress_obs.Bench_result.suites)
+              | Error e ->
+                  Printf.eprintf "%s: not a bench document: %s\n" path e;
+                  ok := false))
     Sys.argv;
   if not !ok then exit 1

@@ -1,0 +1,400 @@
+(* Benchmark harness: schema round-trips, diff gating, and the
+   wall-clock profiler.
+
+   The contract under test (lib/obs/{bench_result,bench_diff,prof}):
+
+   - bench-result documents round-trip exactly through the JSON printer
+     and parser (property over randomized docs — the printer's float
+     format is lossless for the values the harness produces);
+   - write_file/read_file round-trip through the filesystem;
+   - Bench_diff verdicts: identical docs pass with zero deltas; a
+     wall-time regression beyond the threshold fails; any deterministic
+     counter change fails; improvements and new rows are informational;
+     --counters-only ignores wall-time entirely; a vanished row fails;
+   - the profiler rebuilds the span tree from close order, merges
+     same-label siblings, handles recursion without double-counting, and
+     its invariants (self <= total, children's totals bounded by the
+     parent's) hold on a real sequential EN engine run;
+   - Prof.to_json and Prof.trace_wall_json emit parseable JSON. *)
+
+module Prng = Dstress_util.Prng
+module Group = Dstress_crypto.Group
+module Graph = Dstress_runtime.Graph
+module Engine = Dstress_runtime.Engine
+module Executor = Dstress_runtime.Executor
+module En_program = Dstress_risk.En_program
+module Topology = Dstress_graphgen.Topology
+module Banking = Dstress_graphgen.Banking
+module Obs = Dstress_obs.Obs
+module Json = Dstress_obs.Json
+module Prof = Dstress_obs.Prof
+module Bench_result = Dstress_obs.Bench_result
+module Bench_diff = Dstress_obs.Bench_diff
+
+(* ------------------------------------------------------------------ *)
+(* Document generators                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let gen_slug =
+  QCheck.Gen.(
+    map2
+      (fun base n -> Printf.sprintf "%s%d" base n)
+      (oneofl [ "mpc"; "xfer"; "round"; "agg"; "noise"; "setup" ])
+      (int_range 0 99))
+
+(* Odd-numerator dyadics: never integer-valued (so the printer always
+   emits a fraction) and exactly representable in <= 9 significant
+   decimal digits, well inside the printer's %.12g. *)
+let gen_dyadic =
+  QCheck.Gen.(map (fun k -> float_of_int ((2 * k) + 1) /. 64.0) (int_range 0 5000))
+
+let gen_param =
+  QCheck.Gen.(
+    pair gen_slug
+      (oneof
+         [ map (fun i -> Json.Int i) (int_range 0 1000); map (fun s -> Json.Str s) gen_slug ]))
+
+let gen_wall =
+  QCheck.Gen.(
+    map
+      (fun (a, b, c, d) -> { Bench_result.median_s = a; min_s = b; p10_s = c; p90_s = d })
+      (quad gen_dyadic gen_dyadic gen_dyadic gen_dyadic))
+
+let gen_result =
+  QCheck.Gen.(
+    map
+      (fun ((name, params, repeats, warmup), (wall, throughput, counters, floats)) ->
+        Bench_result.make_result ~params ~repeats ~warmup ?wall ?throughput ~counters
+          ~floats name)
+      (pair
+         (quad gen_slug
+            (list_size (int_range 0 3) gen_param)
+            (int_range 1 5) (int_range 0 2))
+         (quad (option gen_wall)
+            (option (pair gen_slug gen_dyadic))
+            (list_size (int_range 0 4) (pair gen_slug (int_range 0 1_000_000)))
+            (list_size (int_range 0 4) (pair gen_slug gen_dyadic)))))
+
+let gen_doc =
+  QCheck.Gen.(
+    map2
+      (fun mode suites -> { Bench_result.mode; suites })
+      (oneofl [ "quick"; "full" ])
+      (list_size (int_range 1 3)
+         (map2
+            (fun s rs -> { Bench_result.suite = s; results = rs })
+            gen_slug
+            (list_size (int_range 0 4) gen_result))))
+
+let print_doc d = Json.to_string (Bench_result.to_json d)
+
+(* ------------------------------------------------------------------ *)
+(* Schema round-trips                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_doc_roundtrip () =
+  let arb = QCheck.make ~print:print_doc gen_doc in
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~count:100 ~name:"doc json roundtrip" arb (fun doc ->
+         let s = Json.to_string (Bench_result.to_json doc) in
+         match Json.parse s with
+         | Error e -> QCheck.Test.fail_reportf "reparse failed: %s" e
+         | Ok j -> (
+             match Bench_result.of_json j with
+             | Error e -> QCheck.Test.fail_reportf "decode failed: %s" e
+             | Ok doc' -> doc = doc')))
+
+let test_file_roundtrip () =
+  let doc =
+    {
+      Bench_result.mode = "quick";
+      suites =
+        [
+          {
+            Bench_result.suite = "fig3-left";
+            results =
+              [
+                Bench_result.make_result
+                  ~params:[ ("block", Json.Int 4) ]
+                  ~wall:
+                    { Bench_result.median_s = 1.5; min_s = 1.25; p10_s = 1.375; p90_s = 1.625 }
+                  ~throughput:("gates", 2048.5)
+                  ~counters:[ ("and_gates", 30208); ("traffic.total_bytes", 73302) ]
+                  ~floats:[ ("per_party_s", 0.125) ]
+                  "en-step3";
+              ];
+          };
+        ]
+    }
+  in
+  let path = Filename.temp_file "bench" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Bench_result.write_file path doc;
+      match Bench_result.read_file path with
+      | Ok doc' -> Alcotest.(check bool) "read back equals written" true (doc = doc')
+      | Error e -> Alcotest.failf "read_file: %s" e)
+
+let test_rejects_foreign_schema () =
+  match Bench_result.of_json (Json.Obj [ ("schema", Json.Str "unknown/9"); ("mode", Json.Str "quick"); ("suites", Json.List []) ]) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted a foreign schema tag"
+
+let test_make_result_drops_nonfinite () =
+  let r =
+    Bench_result.make_result
+      ~throughput:("items", Float.infinity)
+      ~floats:[ ("ok", 1.5); ("bad", Float.nan); ("worse", Float.neg_infinity) ]
+      "row"
+  in
+  Alcotest.(check bool) "non-finite throughput dropped" true (r.Bench_result.throughput = None);
+  Alcotest.(check (list string)) "non-finite floats dropped" [ "ok" ]
+    (List.map fst r.Bench_result.floats)
+
+(* ------------------------------------------------------------------ *)
+(* Diff verdicts                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let wall m =
+  { Bench_result.median_s = m; min_s = m *. 0.9; p10_s = m *. 0.95; p90_s = m *. 1.1 }
+
+let fixture_doc ?(mode = "quick") ?(median = 1.0) ?(ands = 100) ?(drop_b = false) () =
+  let rows =
+    [ Bench_result.make_result ~wall:(wall median) ~counters:[ ("and_gates", ands) ] "a" ]
+    @ if drop_b then [] else [ Bench_result.make_result ~counters:[ ("bytes", 5) ] "b" ]
+  in
+  { Bench_result.mode; suites = [ { Bench_result.suite = "s"; results = rows } ] }
+
+let fails report metric =
+  List.exists
+    (fun d -> d.Bench_diff.severity = Bench_diff.Fail && d.Bench_diff.metric = metric)
+    report.Bench_diff.deltas
+
+let test_diff_identical () =
+  let doc = fixture_doc () in
+  let r = Bench_diff.compare_docs doc doc in
+  Alcotest.(check bool) "ok" true (Bench_diff.ok r);
+  Alcotest.(check int) "zero deltas" 0 (List.length r.Bench_diff.deltas);
+  Alcotest.(check int) "both rows compared" 2 r.Bench_diff.compared
+
+let test_diff_wall_regression () =
+  let r = Bench_diff.compare_docs (fixture_doc ()) (fixture_doc ~median:2.0 ()) in
+  Alcotest.(check bool) "2x median regression fails" false (Bench_diff.ok r);
+  Alcotest.(check bool) "the failing metric is the median" true (fails r "wall.median_s")
+
+let test_diff_wall_within_threshold () =
+  let r = Bench_diff.compare_docs (fixture_doc ()) (fixture_doc ~median:1.2 ()) in
+  Alcotest.(check bool) "+20%% passes at the default 25%% threshold" true (Bench_diff.ok r);
+  let tight = Bench_diff.compare_docs ~threshold:0.1 (fixture_doc ()) (fixture_doc ~median:1.2 ()) in
+  Alcotest.(check bool) "+20%% fails at a 10%% threshold" false (Bench_diff.ok tight)
+
+let test_diff_wall_improvement () =
+  let r = Bench_diff.compare_docs (fixture_doc ()) (fixture_doc ~median:0.5 ()) in
+  Alcotest.(check bool) "2x speedup passes" true (Bench_diff.ok r);
+  Alcotest.(check bool) "but is still reported" true (r.Bench_diff.deltas <> [])
+
+let test_diff_counter_drift () =
+  let r = Bench_diff.compare_docs (fixture_doc ()) (fixture_doc ~ands:101 ()) in
+  Alcotest.(check bool) "a one-off counter change fails" false (Bench_diff.ok r);
+  Alcotest.(check bool) "the failing metric names the counter" true
+    (fails r "counter:and_gates")
+
+let test_diff_counters_only () =
+  let r =
+    Bench_diff.compare_docs ~counters_only:true (fixture_doc ())
+      (fixture_doc ~median:10.0 ())
+  in
+  Alcotest.(check bool) "counters-only ignores wall regressions" true (Bench_diff.ok r);
+  let drift =
+    Bench_diff.compare_docs ~counters_only:true (fixture_doc ()) (fixture_doc ~ands:7 ())
+  in
+  Alcotest.(check bool) "counters-only still gates counters" false (Bench_diff.ok drift)
+
+let test_diff_missing_and_added_rows () =
+  let missing = Bench_diff.compare_docs (fixture_doc ()) (fixture_doc ~drop_b:true ()) in
+  Alcotest.(check bool) "vanished row fails" false (Bench_diff.ok missing);
+  let added = Bench_diff.compare_docs (fixture_doc ~drop_b:true ()) (fixture_doc ()) in
+  Alcotest.(check bool) "new row is informational" true (Bench_diff.ok added);
+  Alcotest.(check bool) "and reported" true (added.Bench_diff.deltas <> [])
+
+let test_diff_mode_mismatch () =
+  let r = Bench_diff.compare_docs (fixture_doc ()) (fixture_doc ~mode:"full" ()) in
+  Alcotest.(check bool) "mode mismatch alone still passes" true (Bench_diff.ok r);
+  Alcotest.(check bool) "but warns" true (r.Bench_diff.deltas <> [])
+
+(* ------------------------------------------------------------------ *)
+(* Profiler: synthetic span lists                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Spans in close order (children before parents, siblings by timeline),
+   exactly as [Obs.spans] on a sequential run produces after a reverse. *)
+let span name depth wall_start wall =
+  { Obs.name; start = 0; dur = 0; depth; wall; wall_start }
+
+let test_prof_aggregation () =
+  let spans =
+    [
+      span "a" 1 0.0 4.0;
+      span "b" 1 4.0 5.0;
+      span "a" 1 9.0 1.0;
+      span "run" 0 0.0 10.0;
+    ]
+  in
+  let p = Prof.of_spans spans in
+  Alcotest.(check (float 1e-12)) "wall total" 10.0 p.Prof.wall_total_s;
+  match p.Prof.roots with
+  | [ run ] ->
+      Alcotest.(check string) "root label" "run" run.Prof.label;
+      Alcotest.(check (float 1e-12)) "root self excludes children" 0.0 run.Prof.self_s;
+      (match run.Prof.children with
+      | [ a; b ] ->
+          Alcotest.(check string) "first-appearance order" "a" a.Prof.label;
+          Alcotest.(check int) "same-label siblings merge" 2 a.Prof.count;
+          Alcotest.(check (float 1e-12)) "merged total" 5.0 a.Prof.total_s;
+          Alcotest.(check (float 1e-12)) "leaf self = total" 5.0 a.Prof.self_s;
+          Alcotest.(check string) "second child" "b" b.Prof.label
+      | l -> Alcotest.failf "expected 2 children, got %d" (List.length l));
+      (* Flat report: ties on self break by label, "run" (self 0) last. *)
+      let flat = Prof.flatten p in
+      Alcotest.(check (list string)) "flatten order"
+        [ "a"; "b"; "run" ]
+        (List.map (fun f -> f.Prof.flat_label) flat);
+      Alcotest.(check (list string)) "top 2" [ "a"; "b" ]
+        (List.map (fun f -> f.Prof.flat_label) (Prof.top ~n:2 p))
+  | l -> Alcotest.failf "expected 1 root, got %d" (List.length l)
+
+let test_prof_recursion () =
+  let spans = [ span "x" 1 1.0 2.0; span "x" 0 0.0 5.0 ] in
+  let p = Prof.of_spans spans in
+  match Prof.flatten p with
+  | [ f ] ->
+      Alcotest.(check string) "label" "x" f.Prof.flat_label;
+      Alcotest.(check int) "both occurrences counted" 2 f.Prof.flat_count;
+      Alcotest.(check (float 1e-12)) "self sums both levels" 5.0 f.Prof.flat_self_s;
+      Alcotest.(check (float 1e-12)) "total counts outermost only" 5.0 f.Prof.flat_total_s
+  | l -> Alcotest.failf "expected 1 flat row, got %d" (List.length l)
+
+let test_prof_empty () =
+  let p = Prof.of_spans [] in
+  Alcotest.(check int) "no roots" 0 (List.length p.Prof.roots);
+  Alcotest.(check (float 0.0)) "zero total" 0.0 p.Prof.wall_total_s;
+  Alcotest.(check int) "no flat rows" 0 (List.length (Prof.flatten p))
+
+(* ------------------------------------------------------------------ *)
+(* Profiler: invariants on a real engine run                            *)
+(* ------------------------------------------------------------------ *)
+
+let grp = Group.by_name "toy"
+
+let small_en_run () =
+  let prng = Prng.of_int 0x60 in
+  let topo = Topology.erdos_renyi prng ~n:6 ~avg_degree:2.0 ~max_degree:3 in
+  let inst = Banking.en_of_topology prng topo () in
+  let graph = En_program.graph_of_instance inst in
+  let d = max 1 (Graph.max_degree graph) in
+  let l = 8 and iterations = 2 in
+  let p = En_program.make ~l ~degree:d ~iterations () in
+  let states = En_program.encode_instance inst ~graph ~l ~degree:d ~scale:0.25 in
+  let cfg =
+    { (Engine.default_config grp ~k:1 ~degree_bound:d ~seed:"prof-en") with
+      Engine.obs_level = Obs.Full;
+      executor = Executor.sequential }
+  in
+  Engine.run cfg p ~graph ~initial_states:states
+
+let test_prof_invariants_on_en_run () =
+  let r = small_en_run () in
+  let p = Prof.of_obs r.Engine.obs in
+  Alcotest.(check bool) "profile is non-empty" true (p.Prof.roots <> []);
+  let eps = 1e-9 in
+  let rec check_node path n =
+    let path = path ^ "/" ^ n.Prof.label in
+    Alcotest.(check bool) (path ^ ": count >= 1") true (n.Prof.count >= 1);
+    Alcotest.(check bool) (path ^ ": total >= 0") true (n.Prof.total_s >= 0.0);
+    Alcotest.(check bool) (path ^ ": self >= 0") true (n.Prof.self_s >= 0.0);
+    Alcotest.(check bool)
+      (path ^ ": self <= total")
+      true
+      (n.Prof.self_s <= n.Prof.total_s +. eps);
+    (* On a sequential run children nest strictly inside their parent. *)
+    let child_total =
+      List.fold_left (fun a c -> a +. c.Prof.total_s) 0.0 n.Prof.children
+    in
+    Alcotest.(check bool)
+      (path ^ ": children fit inside parent")
+      true
+      (child_total <= n.Prof.total_s +. eps);
+    List.iter (check_node path) n.Prof.children
+  in
+  List.iter (check_node "") p.Prof.roots;
+  Alcotest.(check (float 1e-9)) "wall_total_s = sum of root totals"
+    (List.fold_left (fun a n -> a +. n.Prof.total_s) 0.0 p.Prof.roots)
+    p.Prof.wall_total_s;
+  (* The flat report reconciles with the tree. *)
+  let self_by_label = Hashtbl.create 64 and count_by_label = Hashtbl.create 64 in
+  let rec fold n =
+    let get tbl k = Option.value ~default:0.0 (Hashtbl.find_opt tbl k) in
+    Hashtbl.replace self_by_label n.Prof.label (get self_by_label n.Prof.label +. n.Prof.self_s);
+    Hashtbl.replace count_by_label n.Prof.label
+      (get count_by_label n.Prof.label +. float_of_int n.Prof.count);
+    List.iter fold n.Prof.children
+  in
+  List.iter fold p.Prof.roots;
+  List.iter
+    (fun f ->
+      Alcotest.(check (float 1e-9))
+        (f.Prof.flat_label ^ ": flat self sums the tree")
+        (Option.value ~default:0.0 (Hashtbl.find_opt self_by_label f.Prof.flat_label))
+        f.Prof.flat_self_s;
+      Alcotest.(check (float 0.0))
+        (f.Prof.flat_label ^ ": flat count sums the tree")
+        (Option.value ~default:0.0 (Hashtbl.find_opt count_by_label f.Prof.flat_label))
+        (float_of_int f.Prof.flat_count))
+    (Prof.flatten p);
+  (* Both wall-clock exports are parseable JSON — and only those; the
+     deterministic exports are covered byte-exactly by test_obs. *)
+  (match Json.parse (Json.to_string (Prof.to_json p)) with
+  | Ok (Json.Obj fields) ->
+      List.iter
+        (fun k ->
+          Alcotest.(check bool) ("profile json has " ^ k) true (List.mem_assoc k fields))
+        [ "wall_total_s"; "tree"; "flat" ]
+  | Ok _ -> Alcotest.fail "profile json is not an object"
+  | Error e -> Alcotest.failf "profile json: %s" e);
+  match Json.parse (Prof.trace_wall_json r.Engine.obs) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "trace_wall json: %s" e
+
+let () =
+  Alcotest.run "bench"
+    [
+      ( "schema",
+        [
+          Alcotest.test_case "json roundtrip property" `Quick test_doc_roundtrip;
+          Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+          Alcotest.test_case "foreign schema rejected" `Quick test_rejects_foreign_schema;
+          Alcotest.test_case "non-finite floats dropped" `Quick
+            test_make_result_drops_nonfinite;
+        ] );
+      ( "diff",
+        [
+          Alcotest.test_case "identical docs pass" `Quick test_diff_identical;
+          Alcotest.test_case "wall regression fails" `Quick test_diff_wall_regression;
+          Alcotest.test_case "threshold boundary" `Quick test_diff_wall_within_threshold;
+          Alcotest.test_case "improvement passes" `Quick test_diff_wall_improvement;
+          Alcotest.test_case "counter drift fails" `Quick test_diff_counter_drift;
+          Alcotest.test_case "counters-only mode" `Quick test_diff_counters_only;
+          Alcotest.test_case "missing and added rows" `Quick
+            test_diff_missing_and_added_rows;
+          Alcotest.test_case "mode mismatch warns" `Quick test_diff_mode_mismatch;
+        ] );
+      ( "profiler",
+        [
+          Alcotest.test_case "label aggregation" `Quick test_prof_aggregation;
+          Alcotest.test_case "recursion not double-counted" `Quick test_prof_recursion;
+          Alcotest.test_case "empty span list" `Quick test_prof_empty;
+          Alcotest.test_case "invariants on an EN run" `Quick
+            test_prof_invariants_on_en_run;
+        ] );
+    ]

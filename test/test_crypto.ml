@@ -289,7 +289,7 @@ let test_base_ot_all_cases () =
   let t = prg "ot" in
   List.iter
     (fun (b0, b1, choice) ->
-      let meter = Meter.create () in
+      let meter = Xfer.create () in
       let got =
         Ot.base_ot_bit grp meter ~sender_prg:t ~receiver_prg:t ~b0 ~b1 ~choice
       in
@@ -306,10 +306,10 @@ let test_base_ot_bytes () =
   for _ = 1 to 10 do
     let m0 = Prg.bytes t 16 and m1 = Prg.bytes t 16 in
     let choice = Prg.bool t in
-    let meter = Meter.create () in
+    let meter = Xfer.create () in
     let got = Ot.base_ot grp meter ~sender_prg:t ~receiver_prg:t ~m0 ~m1 ~choice in
     Alcotest.(check bytes) "chosen message" (if choice then m1 else m0) got;
-    Alcotest.(check bool) "traffic metered" true (Meter.total meter > 0)
+    Alcotest.(check bool) "traffic metered" true (Xfer.total meter > 0)
   done
 
 let test_base_ot_length_mismatch () =
@@ -317,7 +317,7 @@ let test_base_ot_length_mismatch () =
   Alcotest.check_raises "mismatch"
     (Invalid_argument "Ot.base_ot: message length mismatch") (fun () ->
       ignore
-        (Ot.base_ot grp (Meter.create ()) ~sender_prg:t ~receiver_prg:t
+        (Ot.base_ot grp (Xfer.create ()) ~sender_prg:t ~receiver_prg:t
            ~m0:(Bytes.create 4) ~m1:(Bytes.create 5) ~choice:false))
 
 let test_random_point_is_element () =
@@ -332,7 +332,7 @@ let test_random_point_is_element () =
 
 let test_ot_ext_bytes () =
   let sp = prg "ext-s" and rp = prg "ext-r" in
-  let meter = Meter.create () in
+  let meter = Xfer.create () in
   let session = Ot_ext.setup grp meter ~sender_prg:sp ~receiver_prg:rp in
   let t = prg "ext-data" in
   let m = 64 in
@@ -347,7 +347,7 @@ let test_ot_ext_bytes () =
 
 let test_ot_ext_bits () =
   let sp = prg "extb-s" and rp = prg "extb-r" in
-  let meter = Meter.create () in
+  let meter = Xfer.create () in
   let session = Ot_ext.setup grp meter ~sender_prg:sp ~receiver_prg:rp in
   let t = prg "extb-data" in
   let m = 200 in
@@ -365,7 +365,7 @@ let test_ot_ext_multiple_batches () =
   (* The same session must serve several extend calls with fresh
      correlation (stateful column PRGs). *)
   let sp = prg "extm-s" and rp = prg "extm-r" in
-  let meter = Meter.create () in
+  let meter = Xfer.create () in
   let session = Ot_ext.setup grp meter ~sender_prg:sp ~receiver_prg:rp in
   let t = prg "extm-data" in
   for _ = 1 to 5 do
@@ -385,7 +385,7 @@ let test_ot_ext_simulation_mode () =
      as crypto mode. *)
   let run mode =
     let sp = prg "sim-s" and rp = prg "sim-r" in
-    let meter = Meter.create () in
+    let meter = Xfer.create () in
     let session = Ot_ext.setup ~mode grp meter ~sender_prg:sp ~receiver_prg:rp in
     let t = prg "sim-data" in
     let m = 100 in
@@ -397,7 +397,7 @@ let test_ot_ext_simulation_mode () =
         let x0, x1 = pairs.(j) in
         Alcotest.(check bool) "sim chosen bit" (if choices.(j) then x1 else x0) got)
       out;
-    Meter.total meter
+    Xfer.total meter
   in
   let crypto_traffic = run Ot_ext.Crypto in
   let sim_traffic = run Ot_ext.Simulation in
@@ -408,14 +408,14 @@ let test_ot_ext_amortized_traffic () =
      IKNP. Compare marginal traffic of 1000 extension OTs against 1000
      base OTs (3 group elements + 2 bits each). *)
   let sp = prg "extt-s" and rp = prg "extt-r" in
-  let setup_meter = Meter.create () in
+  let setup_meter = Xfer.create () in
   let session = Ot_ext.setup grp setup_meter ~sender_prg:sp ~receiver_prg:rp in
-  let meter = Meter.create () in
+  let meter = Xfer.create () in
   let m = 1000 in
   let pairs = Array.make m (false, true) in
   let choices = Array.make m true in
   ignore (Ot_ext.extend_bits session meter ~pairs ~choices);
-  let per_ot = float_of_int (Meter.total meter) /. float_of_int m in
+  let per_ot = float_of_int (Xfer.total meter) /. float_of_int m in
   let base_per_ot = float_of_int (3 * Group.element_bytes grp + 2) in
   Alcotest.(check bool) "amortized cheaper than base" true (per_ot < base_per_ot)
 
@@ -426,7 +426,7 @@ let test_ot_ext_words_matches_bits () =
   List.iter
     (fun mode ->
       let session_of tag =
-        Ot_ext.setup ~mode grp (Meter.create ()) ~sender_prg:(prg (tag ^ "-s"))
+        Ot_ext.setup ~mode grp (Xfer.create ()) ~sender_prg:(prg (tag ^ "-s"))
           ~receiver_prg:(prg (tag ^ "-r"))
       in
       let t = prg "extw-data" in
@@ -441,7 +441,7 @@ let test_ot_ext_words_matches_bits () =
       let pairs = Array.init m (fun _ -> (word (), word ())) in
       let choices = Array.init m (fun _ -> word ()) in
       let sw = session_of "extw" and sb = session_of "extw" in
-      let out = Ot_ext.extend_words sw (Meter.create ()) ~width ~pairs ~choices in
+      let out = Ot_ext.extend_words sw (Xfer.create ()) ~width ~pairs ~choices in
       let lane_bit w lane = Int64.logand (Int64.shift_right_logical w lane) 1L = 1L in
       (* Lanes of gate g occupy positions g*width .. g*width+width-1. *)
       let flat f = Array.init (m * width) (fun i -> f (i / width) (i mod width)) in
@@ -451,7 +451,7 @@ let test_ot_ext_words_matches_bits () =
             (lane_bit x0 lane, lane_bit x1 lane))
       in
       let bit_choices = flat (fun g lane -> lane_bit choices.(g) lane) in
-      let bmeter = Meter.create () in
+      let bmeter = Xfer.create () in
       let bits = Ot_ext.extend_bits sb bmeter ~pairs:bit_pairs ~choices:bit_choices in
       Array.iteri
         (fun g w ->
@@ -473,22 +473,22 @@ let test_ot_ext_words_metering () =
   (* A word batch must meter exactly like the equivalent flat bit batch:
      kappa * ceil(total/8) receiver->sender, 2 * ceil(total/8) back. *)
   let session =
-    Ot_ext.setup ~mode:Ot_ext.Simulation grp (Meter.create ()) ~sender_prg:(prg "extwm-s")
+    Ot_ext.setup ~mode:Ot_ext.Simulation grp (Xfer.create ()) ~sender_prg:(prg "extwm-s")
       ~receiver_prg:(prg "extwm-r")
   in
   let m = 9 and width = 7 in
-  let meter = Meter.create () in
+  let meter = Xfer.create () in
   ignore
     (Ot_ext.extend_words session meter ~width
        ~pairs:(Array.make m (0L, Int64.minus_one))
        ~choices:(Array.make m 0L));
   let total = m * width in
   let col = Ot_ext.kappa * ((total + 7) / 8) and row = 2 * ((total + 7) / 8) in
-  Alcotest.(check int) "metered" (col + row) (Meter.total meter)
+  Alcotest.(check int) "metered" (col + row) (Xfer.total meter)
 
 let test_ot_ext_words_rejects_bad_width () =
   let session =
-    Ot_ext.setup ~mode:Ot_ext.Simulation grp (Meter.create ()) ~sender_prg:(prg "extwv-s")
+    Ot_ext.setup ~mode:Ot_ext.Simulation grp (Xfer.create ()) ~sender_prg:(prg "extwv-s")
       ~receiver_prg:(prg "extwv-r")
   in
   List.iter
@@ -498,7 +498,7 @@ let test_ot_ext_words_rejects_bad_width () =
         (Invalid_argument "Ot_ext.extend_words: width must be in [1, 64]")
         (fun () ->
           ignore
-            (Ot_ext.extend_words session (Meter.create ()) ~width ~pairs:[| (0L, 0L) |]
+            (Ot_ext.extend_words session (Xfer.create ()) ~width ~pairs:[| (0L, 0L) |]
                ~choices:[| 0L |])))
     [ 0; 65 ]
 

@@ -4,7 +4,7 @@ module Bitvec = Dstress_util.Bitvec
 module Prng = Dstress_util.Prng
 module Group = Dstress_crypto.Group
 module Garble = Dstress_crypto.Garble
-module Meter = Dstress_crypto.Meter
+module Xfer = Dstress_crypto.Xfer
 module Ot_ext = Dstress_crypto.Ot_ext
 module Circuit = Dstress_circuit.Circuit
 module Builder = Dstress_circuit.Builder
@@ -16,7 +16,7 @@ let run_both ?(mode = Ot_ext.Simulation) ?(seed = "tg") circuit ~garbler_bits in
   let n = circuit.Circuit.num_inputs in
   let garbler_input = Bitvec.sub inputs ~pos:0 ~len:garbler_bits in
   let evaluator_input = Bitvec.sub inputs ~pos:garbler_bits ~len:(n - garbler_bits) in
-  let meter = Meter.create () in
+  let meter = Xfer.create () in
   let r =
     Garble.execute ~mode grp meter circuit ~garbler_bits ~garbler_input ~evaluator_input
       ~seed
@@ -117,15 +117,15 @@ let test_traffic_metered () =
   let r, _, meter = run_both c ~garbler_bits:8 inputs in
   (* Garbler sends at least the tables + its labels. *)
   Alcotest.(check bool) "g->e covers tables" true
-    (meter.Meter.a_to_b >= r.Garble.table_bytes + (8 * Garble.label_bytes));
-  Alcotest.(check bool) "e->g only OT" true (meter.Meter.b_to_a > 0)
+    (Xfer.a_to_b meter >= r.Garble.table_bytes + (8 * Garble.label_bytes));
+  Alcotest.(check bool) "e->g only OT" true (Xfer.b_to_a meter > 0)
 
 let test_bad_widths_rejected () =
   let c = adder 4 in
   Alcotest.check_raises "bad garbler width"
     (Invalid_argument "Garble.execute: garbler input width") (fun () ->
       ignore
-        (Garble.execute grp (Meter.create ()) c ~garbler_bits:4
+        (Garble.execute grp (Xfer.create ()) c ~garbler_bits:4
            ~garbler_input:(Bitvec.create 2 false)
            ~evaluator_input:(Bitvec.create 4 false) ~seed:"x"))
 
