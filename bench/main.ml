@@ -34,6 +34,10 @@ let experiments : (string * string * (quick:bool -> unit -> unit)) list =
     ("ablation-buckets", "§3.7: degree bucketing ablation", Ablation.degree_bucketing);
     ("2pc-comparison", "§6: garbled circuits vs GMW", Ablation.twopc);
     ("fault-sweep", "§3.8: recovery cost vs injected fault rate", Fault_bench.run);
+    (* transport forks worker processes and must run before any suite that
+       spawns domains (OCaml 5 forbids fork after Domain.spawn), so it sits
+       ahead of the executor suite's domain pool. *)
+    ("transport", "distributed runtime: frame RTT, backoff, pool dispatch", Transport_bench.run);
     ("executor", "runtime: sequential vs domain-pool executor", Executor_bench.run);
     ("gmw-slice", "bitsliced GMW: scalar vs 64-wide sliced evaluation", Slice_bench.run);
   ]

@@ -42,19 +42,37 @@ for baseline in bench/baselines/BENCH_*.json; do
   dune exec bin/bench_diff.exe -- --counters-only "$baseline" "$CI_TMP/bench.json"
 done
 
-# Observability smoke: the same faulty run under both executors must
-# export byte-identical trace/metrics files, and both must parse as JSON.
+# Observability smoke: the same faulty run under every executor backend —
+# including the multi-process distributed one — must export byte-identical
+# trace/metrics files, and they must parse as JSON.
 echo "== obs smoke (trace/metrics determinism across executors) =="
 OBS_TMP="$CI_TMP"
-for jobs in 1 4; do
+for exec in sequential parallel:4 distributed:2; do
+  tag="$(echo "$exec" | tr ':' '.')"
   dune exec bin/dstress.exe -- stress --core 2 --periphery 3 -i 2 \
-    --fault-crashes 2 --jobs "$jobs" --slice-width 64 --obs-level full \
-    --trace "$OBS_TMP/trace.$jobs.json" --metrics "$OBS_TMP/metrics.$jobs.json" \
+    --fault-crashes 2 --executor "$exec" --slice-width 64 --obs-level full \
+    --trace "$OBS_TMP/trace.$tag.json" --metrics "$OBS_TMP/metrics.$tag.json" \
     > /dev/null
 done
-cmp "$OBS_TMP/trace.1.json" "$OBS_TMP/trace.4.json"
-cmp "$OBS_TMP/metrics.1.json" "$OBS_TMP/metrics.4.json"
+cmp "$OBS_TMP/trace.sequential.json" "$OBS_TMP/trace.parallel.4.json"
+cmp "$OBS_TMP/trace.sequential.json" "$OBS_TMP/trace.distributed.2.json"
+cmp "$OBS_TMP/metrics.sequential.json" "$OBS_TMP/metrics.parallel.4.json"
+cmp "$OBS_TMP/metrics.sequential.json" "$OBS_TMP/metrics.distributed.2.json"
 dune exec test/json_check.exe -- \
-  "$OBS_TMP/trace.1.json" "$OBS_TMP/metrics.1.json"
+  "$OBS_TMP/trace.sequential.json" "$OBS_TMP/metrics.sequential.json"
+
+# Distributed smoke: the two-process transport demo (real exec'd worker
+# over a named socket), then one engine run per wire-fault kind — each
+# must recover (respawn/fence/degrade onto live workers) and still print
+# a report, with the wall-domain counters exported separately.
+echo "== distributed smoke (transport demo + wire-fault matrix) =="
+dune exec bin/dstress.exe -- transport --pings 100 > /dev/null
+for kind in disconnect stall partition; do
+  echo "-- wire fault: $kind"
+  dune exec bin/dstress.exe -- stress --core 2 --periphery 3 -i 2 \
+    --executor distributed:2 --wire-faults "$kind" \
+    --transport-metrics "$CI_TMP/transport.$kind.json" > /dev/null
+  dune exec test/json_check.exe -- "$CI_TMP/transport.$kind.json"
+done
 
 echo "CI OK"

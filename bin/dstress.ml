@@ -102,6 +102,139 @@ let executor_of_jobs jobs =
   if jobs < 1 then invalid_arg "dstress: --jobs must be >= 1"
   else Dstress_runtime.Executor.parallel ~jobs
 
+module Executor = Dstress_runtime.Executor
+module Distributed = Dstress_runtime.Distributed
+module Transport = Dstress_runtime.Transport
+
+let executor_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "executor" ] ~docv:"SPEC"
+        ~doc:
+          "Execution backend: sequential, parallel[:N] (domain pool) or \
+           distributed[:N] (forked worker processes behind the fault-tolerant \
+           transport). Overrides --jobs. Tick-domain results and exports are \
+           identical for every backend.")
+
+let socket_dir_arg =
+  Arg.(
+    value
+    & opt (some dir) None
+    & info [ "socket-dir" ] ~docv:"DIR"
+        ~doc:
+          "With --executor distributed[:N]: use named Unix sockets under DIR \
+           (listen/connect with bounded jittered backoff) instead of anonymous \
+           socketpairs.")
+
+let wire_fault_rate_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "wire-fault-rate" ] ~docv:"FLOAT"
+        ~doc:
+          "Per-(worker, dispatch batch) probability of injecting a transport \
+           fault (disconnect, stall or partition) into a distributed run. \
+           Requires --executor distributed[:N]; 0 disables injection.")
+
+let wire_faults_arg =
+  Arg.(
+    value
+    & opt (list (enum [ ("disconnect", `Disconnect); ("stall", `Stall); ("partition", `Partition) ])) []
+    & info [ "wire-faults" ] ~docv:"KINDS"
+        ~doc:
+          "Comma-separated wire-fault kinds to inject deterministically (one \
+           fault each on early dispatch batches): disconnect, stall, partition. \
+           Requires --executor distributed[:N].")
+
+let transport_metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "transport-metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write the run's wall-domain transport/pool counters (frames, \
+           reconnects, backoff sleeps, respawns, suspicions, fenced frames) to \
+           FILE: CSV when FILE ends in .csv, JSON otherwise. Only produced by \
+           --executor distributed[:N] — these counters are deliberately not in \
+           the deterministic --metrics export.")
+
+(* --executor wins over the legacy --jobs; --socket-dir re-homes a
+   distributed backend onto named sockets. *)
+let resolve_executor ~spec ~jobs ~socket_dir =
+  let exec =
+    match spec with
+    | None -> executor_of_jobs jobs
+    | Some s -> (
+        match Executor.of_string s with
+        | Ok e -> e
+        | Error m -> invalid_arg ("dstress: --executor " ^ m))
+  in
+  match (socket_dir, Executor.distributed_ctx exec) with
+  | None, _ -> exec
+  | Some _, None -> invalid_arg "dstress: --socket-dir requires --executor distributed[:N]"
+  | Some dir, Some ctx ->
+      let o = Distributed.opts ctx in
+      Executor.distributed
+        ~opts:{ o with Distributed.socket_dir = Some dir }
+        ~workers:o.Distributed.workers ()
+
+let wire_plan ~exec ~seed ~iterations ~wire_fault_rate ~wire_faults =
+  if wire_fault_rate = 0.0 && wire_faults = [] then Fault.empty
+  else
+    match Executor.distributed_ctx exec with
+    | None ->
+        invalid_arg "dstress: wire faults require --executor distributed[:N]"
+    | Some ctx ->
+        let workers = (Distributed.opts ctx).Distributed.workers in
+        (* Every engine phase is at most two dispatch batches per round. *)
+        let batches = (2 * (iterations + 1)) + 2 in
+        (if wire_fault_rate > 0.0 then
+           Fault.random_wire_plan ~seed ~workers ~batches
+             {
+               Fault.disconnect = wire_fault_rate;
+               stall = wire_fault_rate;
+               partition = wire_fault_rate;
+             }
+         else Fault.empty)
+        @ List.map
+            (function
+              | `Disconnect -> Fault.Disconnect_worker { worker = 0; batch = 1 }
+              | `Stall ->
+                  Fault.Stall_worker { worker = 1 mod workers; batch = 2; seconds = 0.15 }
+              | `Partition ->
+                  Fault.Partition_worker { worker = 0; from_batch = 3; until_batch = 4 })
+            wire_faults
+
+let export_transport_metrics path (report : Engine.report) =
+  Option.iter
+    (fun path ->
+      match report.Engine.transport_metrics with
+      | Some m ->
+          let contents =
+            if Filename.check_suffix path ".csv" then Dstress_obs.Obs.Metrics.to_csv m
+            else Dstress_obs.Json.to_string (Dstress_obs.Obs.Metrics.to_json m)
+          in
+          let oc = open_out path in
+          output_string oc contents;
+          close_out oc
+      | None ->
+          prerr_endline
+            "dstress: --transport-metrics ignored (no distributed transport in this run)")
+    path
+
+(* A degraded distributed run is an expected, typed outcome: report it
+   and exit distinctly rather than crash with a backtrace. *)
+let degraded_exit = 3
+
+let run_engine cfg p ~graph ~initial_states =
+  try Engine.run cfg p ~graph ~initial_states with
+  | Distributed.Degraded d ->
+      Format.eprintf "dstress: distributed run degraded: %a@." Distributed.pp_degradation d;
+      exit degraded_exit
+  | Distributed.Task_failed { index; message } ->
+      Format.eprintf "dstress: worker task %d failed: %s@." index message;
+      exit degraded_exit
+
 let slice_width_arg =
   Arg.(
     value & opt int 64
@@ -235,10 +368,13 @@ let make_network ~seed ~core ~periphery ~shock =
   (Banking.shock_en prng inst topo shock, topo)
 
 let stress model seed grpname k core periphery iterations epsilon shock reference_only
-    fault_rate fault_crashes max_retries backoff jobs slice_width obs_level trace metrics
+    fault_rate fault_crashes max_retries backoff jobs executor_spec socket_dir
+    wire_fault_rate wire_faults transport_metrics slice_width obs_level trace metrics
     trace_wall profile =
   let grp = Group.by_name grpname in
   let obs_level = effective_obs_level obs_level ~trace ~metrics ~trace_wall ~profile in
+  let exec = resolve_executor ~spec:executor_spec ~jobs ~socket_dir in
+  let wire = wire_plan ~exec ~seed ~iterations ~wire_fault_rate ~wire_faults in
   let inst, _ = make_network ~seed ~core ~periphery ~shock in
   match model with
   | `En ->
@@ -254,16 +390,18 @@ let stress model seed grpname k core periphery iterations epsilon shock referenc
         let cfg =
           faulty_config
             { (Engine.default_config grp ~k ~degree_bound:degree ~seed:(string_of_int seed)) with
-              Engine.executor = executor_of_jobs jobs;
+              Engine.executor = exec;
               slice_width;
               obs_level }
             ~graph ~iterations ~seed ~fault_rate ~fault_crashes ~max_retries ~backoff
         in
-        let report = Engine.run cfg p ~graph ~initial_states:states in
+        let cfg = { cfg with Engine.fault_plan = cfg.Engine.fault_plan @ wire } in
+        let report = run_engine cfg p ~graph ~initial_states:states in
         Printf.printf "DStress noised TDS:   $%.2f\n"
           (En_program.decode_output ~scale report.Engine.output);
         Format.printf "%a@." Engine.pp_report report;
-        export_obs ~trace ~metrics ~trace_wall ~profile report
+        export_obs ~trace ~metrics ~trace_wall ~profile report;
+        export_transport_metrics transport_metrics report
       end
   | `Egj ->
       let prng = Prng.of_int seed in
@@ -286,16 +424,18 @@ let stress model seed grpname k core periphery iterations epsilon shock referenc
         let cfg =
           faulty_config
             { (Engine.default_config grp ~k ~degree_bound:degree ~seed:(string_of_int seed)) with
-              Engine.executor = executor_of_jobs jobs;
+              Engine.executor = exec;
               slice_width;
               obs_level }
             ~graph ~iterations ~seed ~fault_rate ~fault_crashes ~max_retries ~backoff
         in
-        let report = Engine.run cfg p ~graph ~initial_states:states in
+        let cfg = { cfg with Engine.fault_plan = cfg.Engine.fault_plan @ wire } in
+        let report = run_engine cfg p ~graph ~initial_states:states in
         Printf.printf "DStress noised TDS:   $%.2f\n"
           (Egj_program.decode_output ~scale ~frac report.Engine.output);
         Format.printf "%a@." Engine.pp_report report;
-        export_obs ~trace ~metrics ~trace_wall ~profile report
+        export_obs ~trace ~metrics ~trace_wall ~profile report;
+        export_transport_metrics transport_metrics report
       end
 
 let model_arg =
@@ -311,8 +451,10 @@ let stress_cmd =
     Term.(
       const stress $ model_arg $ seed_arg $ group_arg $ k_arg $ core_arg $ periphery_arg
       $ iterations_arg $ epsilon_arg $ shock_arg $ reference_only_arg $ fault_rate_arg
-      $ fault_crashes_arg $ max_retries_arg $ backoff_arg $ jobs_arg $ slice_width_arg
-      $ obs_level_arg $ trace_arg $ metrics_arg $ trace_wall_arg $ profile_arg)
+      $ fault_crashes_arg $ max_retries_arg $ backoff_arg $ jobs_arg $ executor_arg
+      $ socket_dir_arg $ wire_fault_rate_arg $ wire_faults_arg $ transport_metrics_arg
+      $ slice_width_arg $ obs_level_arg $ trace_arg $ metrics_arg $ trace_wall_arg
+      $ profile_arg)
 
 (* ------------------------------------------------------------------ *)
 (* project command                                                     *)
@@ -404,11 +546,110 @@ let scenarios_cmd =
   Cmd.v (Cmd.info "scenarios" ~doc) Term.(const scenarios $ seed_arg $ iters)
 
 (* ------------------------------------------------------------------ *)
+(* transport command                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* A true two-process demo of the wire layer: the coordinator re-execs
+   this same binary as an echo worker (no fork-snapshot sharing — the
+   frames on the socket are the only channel), then measures frame RTTs
+   and prints the transport counters. This is also the CI smoke test for
+   the listen/connect/backoff path. *)
+
+let transport_worker path =
+  let conn = Transport.connect ~attempts:20 ~backoff:0.01 ~path () in
+  let rec loop () =
+    match Transport.recv conn ~timeout:30.0 with
+    | None -> exit 1
+    | Some fr when fr.Transport.kind = Transport.Kind.shutdown -> exit 0
+    | Some fr when fr.Transport.kind = Transport.Kind.ping ->
+        ignore (Transport.send conn ~kind:Transport.Kind.echo ~epoch:fr.Transport.epoch fr.Transport.payload);
+        loop ()
+    | Some _ -> loop ()
+  in
+  loop ()
+
+let transport_run pings payload_bytes =
+  if pings < 1 then invalid_arg "dstress transport: --pings must be >= 1";
+  let dir = Filename.get_temp_dir_name () in
+  let path = Filename.concat dir (Printf.sprintf "dstress-transport-%d.sock" (Unix.getpid ())) in
+  let lfd = Transport.listen ~path in
+  let pid =
+    Unix.create_process Sys.executable_name
+      [| Sys.executable_name; "transport"; "--connect"; path |]
+      Unix.stdin Unix.stdout Unix.stderr
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close lfd with Unix.Unix_error _ -> ());
+      (try Unix.unlink path with Unix.Unix_error _ -> ());
+      match Unix.waitpid [ Unix.WNOHANG ] pid with
+      | 0, _ ->
+          (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+          (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+      | _ | (exception Unix.Unix_error _) -> ())
+    (fun () ->
+      let conn = Transport.accept ~deadline:10.0 lfd in
+      let payload = Bytes.make payload_bytes 'p' in
+      let rtts =
+        Array.init pings (fun _ ->
+            let t0 = Unix.gettimeofday () in
+            ignore (Transport.send conn ~kind:Transport.Kind.ping ~epoch:0 payload);
+            match Transport.recv conn ~timeout:10.0 with
+            | Some fr when fr.Transport.kind = Transport.Kind.echo ->
+                Unix.gettimeofday () -. t0
+            | _ -> failwith "dstress transport: echo did not arrive")
+      in
+      ignore (Transport.send conn ~kind:Transport.Kind.shutdown ~epoch:0 Bytes.empty);
+      let wpid, status = Unix.waitpid [] pid in
+      Array.sort compare rtts;
+      let pct p = rtts.(min (pings - 1) (p * pings / 100)) in
+      Printf.printf "transport echo over %s\n" path;
+      Printf.printf "  worker pid %d exited %s\n" wpid
+        (match status with
+        | Unix.WEXITED c -> Printf.sprintf "with code %d" c
+        | Unix.WSIGNALED s -> Printf.sprintf "on signal %d" s
+        | Unix.WSTOPPED s -> Printf.sprintf "stopped by %d" s);
+      Printf.printf "  %d pings of %d B: rtt p50 %.1f us, p95 %.1f us, max %.1f us\n" pings
+        payload_bytes
+        (pct 50 *. 1e6)
+        (pct 95 *. 1e6)
+        (rtts.(pings - 1) *. 1e6);
+      let m = Transport.metrics conn in
+      Printf.printf "  frames sent %d (%d B), received %d (%d B)\n"
+        (Dstress_obs.Obs.Metrics.counter m "transport.frames_sent")
+        (Dstress_obs.Obs.Metrics.counter m "transport.bytes_sent")
+        (Dstress_obs.Obs.Metrics.counter m "transport.frames_received")
+        (Dstress_obs.Obs.Metrics.counter m "transport.bytes_received");
+      Transport.close conn)
+
+let transport pings payload connect =
+  match connect with
+  | Some path -> transport_worker path
+  | None -> transport_run pings payload
+
+let transport_cmd =
+  let doc = "Exercise the fault-tolerant transport against a real worker process." in
+  let pings =
+    Arg.(value & opt int 200 & info [ "pings" ] ~docv:"INT" ~doc:"Ping frames to send.")
+  in
+  let payload =
+    Arg.(value & opt int 64 & info [ "payload" ] ~docv:"BYTES" ~doc:"Ping payload size.")
+  in
+  let connect =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"PATH"
+          ~doc:"Internal: run as the echo worker, connecting to PATH.")
+  in
+  Cmd.v (Cmd.info "transport" ~doc) Term.(const transport $ pings $ payload $ connect)
+
+(* ------------------------------------------------------------------ *)
 
 let main_cmd =
   let doc = "differentially private computations on distributed graphs" in
   Cmd.group
     (Cmd.info "dstress" ~version:"1.0.0" ~doc)
-    [ stress_cmd; project_cmd; privacy_cmd; baseline_cmd; scenarios_cmd ]
+    [ stress_cmd; project_cmd; privacy_cmd; baseline_cmd; scenarios_cmd; transport_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

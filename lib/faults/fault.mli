@@ -20,9 +20,41 @@ type kind =
   | Delay  (** one edge transfer is delivered late *)
   | Corrupt  (** one edge transfer arrives but fails its integrity check *)
   | Decrypt_miss  (** one decryption is forced outside the lookup table *)
+  | Disconnect  (** a worker's transport socket dies mid-batch *)
+  | Stall  (** a worker stalls (stops writing) long enough to be suspected *)
+  | Partition  (** a worker slot is unreachable for a batch interval *)
 
 val kind_name : kind -> string
 val all_kinds : kind list
+
+val is_wire : kind -> bool
+(** [Disconnect], [Stall] and [Partition] are {e wire-level} faults: they
+    attack the distributed runtime's transport, not the protocol. The
+    protocol-level accounting (tick-domain metrics, recovery counters,
+    the report fields compared across executor backends) never includes
+    them — a run that recovers from wire faults must be byte-identical,
+    in the tick domain, to the same run without a transport at all. Wire
+    firings are tallied in the wall-domain transport metrics instead. *)
+
+(** {2 Simulated-time rounding contract}
+
+    Fault delays are specified in float seconds but charged to the
+    deterministic trace timeline in integer ticks. The single conversion
+    rule lives here so every consumer (the engine's recovery accounting
+    and the transport's injection bookkeeping) agrees bit-for-bit. *)
+
+val ticks_per_second : float
+(** 10{^6}: one simulated second costs as many ticks as one megabyte of
+    wire traffic (wire bytes are charged 1 tick each). *)
+
+val delay_ticks : float -> int
+(** [delay_ticks s] is [s] seconds on the tick timeline: {b truncation
+    toward zero} of [s *. ticks_per_second] ([int_of_float], i.e. floor
+    for the non-negative inputs the planners produce; negative inputs
+    round up toward zero and can never charge negative ticks — callers
+    treat the result as a non-negative charge and {!Dstress_obs.Obs.advance}
+    ignores values [<= 0]). Sub-microsecond delays therefore charge 0
+    ticks by contract. *)
 
 type fault =
   | Crash_node of { node : int; from_round : int; until_round : int }
@@ -34,6 +66,20 @@ type fault =
   | Miss_decrypt of { src : int; dst : int; round : int }
       (** force one (member, bit) decryption of the transfer on edge
           [(src, dst)] at [round] to miss the lookup table *)
+  | Disconnect_worker of { worker : int; batch : int }
+      (** worker slot [worker]'s connection dies abruptly while serving
+          its first task of dispatch batch [batch]; the coordinator must
+          respawn the slot and redispatch the lost task *)
+  | Stall_worker of { worker : int; batch : int; seconds : float }
+      (** worker slot [worker] stalls for [seconds] before replying to its
+          first task of batch [batch] — long stalls trip the heartbeat
+          failure detector and exercise epoch fencing when the stalled
+          worker's late reply finally arrives *)
+  | Partition_worker of { worker : int; from_batch : int; until_batch : int }
+      (** worker slot [worker] is unreachable (drops every frame, sends
+          nothing) for batches [\[from_batch, until_batch)]; respawned
+          replacements of the slot are equally unreachable, so the
+          coordinator must degrade onto the remaining workers *)
 
 val kind_of : fault -> kind
 
@@ -64,6 +110,22 @@ val random_crashes : seed:int -> nodes:int -> rounds:int -> count:int -> plan
 (** Exactly [count] single-round crashes of distinct nodes at random
     mid-run rounds — the CLI's [--fault-crashes] helper. *)
 
+type wire_rates = {
+  disconnect : float;  (** per-(worker, batch) probability *)
+  stall : float;
+  partition : float;
+}
+
+val no_wire_faults : wire_rates
+
+val random_wire_plan :
+  seed:int -> workers:int -> batches:int -> wire_rates -> plan
+(** Draw a wire-fault schedule over every (worker slot, dispatch batch)
+    pair from independent Bernoulli trials on a private SplitMix stream:
+    same arguments, same plan. Stalls draw a duration in [\[0.05, 0.25)] s;
+    partitions cover 1–2 batches. Raises [Invalid_argument] if a rate is
+    outside [\[0, 1\]], or [workers < 1], or [batches < 1]. *)
+
 val pp_fault : Format.formatter -> fault -> unit
 val pp_plan : Format.formatter -> plan -> unit
 
@@ -84,6 +146,12 @@ module Injector : sig
   val edge_faults : t -> round:int -> src:int -> dst:int -> fault list
   (** All transfer faults scheduled for this edge at this round (marked as
       fired). *)
+
+  val wire_faults : t -> batch:int -> worker:int -> fault list
+  (** All wire faults covering this (worker slot, dispatch batch) pair —
+      a [Partition_worker] matches every batch of its interval. Marked as
+      fired (idempotently: an interval fault counts once however many
+      batches consult it). *)
 
   val injected : t -> (kind * int) list
   (** Fired faults by kind, for every kind (zero entries included). *)

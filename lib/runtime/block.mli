@@ -13,7 +13,10 @@
 type t = {
   vertex : int;
   members : int array;  (** k+1 global node ids, first is the vertex *)
-  session : Dstress_mpc.Gmw.session;  (** reused across all rounds *)
+  mutable session : Dstress_mpc.Gmw.session;
+      (** reused across all rounds; mutable so the Distributed backend
+          can write a worker's evolved session (PRG counters, round/OT
+          tallies) back after a computation batch *)
   state_bits : int;
   message_bits : int;
   degree : int;

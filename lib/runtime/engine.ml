@@ -72,7 +72,7 @@ let validate_config cfg =
   match cfg.executor with
   | Executor.Parallel { jobs } when jobs < 1 ->
       invalid_arg "Engine.run: executor jobs must be >= 1"
-  | Executor.Parallel _ | Executor.Sequential -> ()
+  | Executor.Parallel _ | Executor.Sequential | Executor.Distributed _ -> ()
 
 type phase = Phase.id = Setup | Initialization | Computation | Communication | Aggregation
 
@@ -98,7 +98,35 @@ type report = {
   mpc_ots : int;
   update_stats : Circuit.stats;
   obs : Obs.t;
+  transport_metrics : Obs.Metrics.t option;
 }
+
+(* Everything a computation task mutates on its (possibly fork-local)
+   block, shipped back in the payload so the coordinator's authoritative
+   copy catches up. Under the in-process executors the writeback applies
+   the very same objects — an idempotent no-op. *)
+type vertex_writeback = {
+  wb_events : int;  (* crash recoveries replayed by the merge *)
+  wb_state : Bitvec.t array;
+  wb_inbox : Bitvec.t array array;
+  wb_outbox : Bitvec.t array array;
+  wb_session : Gmw.session;
+}
+
+let vertex_writeback ~events b =
+  {
+    wb_events = events;
+    wb_state = b.Block.state;
+    wb_inbox = b.Block.inbox;
+    wb_outbox = b.Block.outbox;
+    wb_session = b.Block.session;
+  }
+
+let apply_writeback b wb =
+  b.Block.state <- wb.wb_state;
+  Array.blit wb.wb_inbox 0 b.Block.inbox 0 (Array.length b.Block.inbox);
+  Array.blit wb.wb_outbox 0 b.Block.outbox 0 (Array.length b.Block.outbox);
+  b.Block.session <- wb.wb_session
 
 (* Total simulated wait for [retries] exponential-backoff retransmissions
    starting at [backoff] seconds: backoff * (2^retries - 1). *)
@@ -138,6 +166,15 @@ let run cfg p ~graph ~initial_states =
   Obs.enter obs "run";
   let ebytes = Group.element_bytes cfg.grp in
   let injector = Fault.Injector.create cfg.fault_plan in
+  (* The Distributed pool consults the same injector for wire faults, so
+     one plan drives both protocol- and transport-level failures and the
+     fired-fault report covers both. *)
+  (match Executor.distributed_ctx exec with
+  | Some ctx ->
+      Distributed.begin_run ctx;
+      Distributed.set_fault_source ctx (fun ~batch ~worker ->
+          Fault.Injector.wire_faults injector ~batch ~worker)
+  | None -> ());
   (* --- Setup --------------------------------------------------- *)
   let setup =
     Phase.run_sequential acc Setup (fun () ->
@@ -197,8 +234,8 @@ let run cfg p ~graph ~initial_states =
       Array.iter
         (fun member -> if member <> i then Traffic.add traffic ~src:i ~dst:member bytes)
         b.Block.members;
-      { Phase.traffic; payload = () })
-    ~merge:(fun _ () -> ())
+      { Phase.traffic; payload = b.Block.state })
+    ~merge:(fun i shares -> blocks.(i).Block.state <- shares)
     ();
   let failures = ref 0 and recovered = ref 0 and unrecovered = ref 0 in
   let retries = ref 0 and crash_recoveries = ref 0 and retry_epsilon = ref 0.0 in
@@ -237,18 +274,22 @@ let run cfg p ~graph ~initial_states =
           Array.to_list blocks.(i).Block.members
           |> List.filter (fun m -> Fault.Injector.crash_starting injector ~round ~node:m))
     in
-    (* Crash-recovery merge: replayed in vertex order on the root collector,
-       so the counters and recovery ticks are identical for every executor
-       and slice grouping. *)
-    let merge_events _ events =
-      Array.iter
-        (fun e ->
+    (* Merge: write each vertex's mutations back onto the coordinator's
+       blocks (a no-op for the in-process executors, the state handoff for
+       Distributed), then replay crash-recovery accounting in vertex order
+       on the root collector, so the counters and recovery ticks are
+       identical for every executor and slice grouping. *)
+    let merge_group lo wbs =
+      Array.iteri
+        (fun o wb ->
+          apply_writeback blocks.(lo + o) wb;
+          let e = wb.wb_events in
           if e > 0 then begin
             crash_recoveries := !crash_recoveries + e;
             Obs.incr obs ~by:e "faults.crash_recoveries";
             Phase.Accounting.add_recovery acc Computation (float_of_int e *. cfg.backoff)
           end)
-        events
+        wbs
     in
     if cfg.slice_width = 1 then
       (* Scalar path: one task per vertex, one scalar GMW evaluation each.
@@ -270,8 +311,8 @@ let run cfg p ~graph ~initial_states =
             if Obs.detailed obs then Obs.leave obs;
             Obs.advance obs (Phase.recovery_ticks (float_of_int events *. cfg.backoff))
           end;
-          { Phase.traffic; payload = [| events |] })
-        ~merge:merge_events ()
+          { Phase.traffic; payload = [| vertex_writeback ~events b |] })
+        ~merge:merge_group ()
     else begin
       (* Bitsliced path: every vertex runs the same update circuit, so a
          task takes a contiguous group of vertices and evaluates them as
@@ -283,7 +324,8 @@ let run cfg p ~graph ~initial_states =
       let group_size =
         match exec with
         | Executor.Sequential -> cfg.slice_width
-        | Executor.Parallel { jobs } ->
+        | Executor.Parallel _ | Executor.Distributed _ ->
+            let jobs = Executor.jobs exec in
             max 1 (min cfg.slice_width ((n + jobs - 1) / jobs))
       in
       let groups = (n + group_size - 1) / group_size in
@@ -317,7 +359,12 @@ let run cfg p ~graph ~initial_states =
                   (Phase.recovery_ticks (float_of_int events.(o) *. cfg.backoff));
                 Traffic.merge_into ~dst:traffic vtraffic.(o))
               outs;
-            { Phase.traffic; payload = events }
+            {
+              Phase.traffic;
+              payload =
+                Array.init len (fun o ->
+                    vertex_writeback ~events:events.(o) blocks.(lo + o));
+            }
           end
           else begin
             let events =
@@ -340,9 +387,14 @@ let run cfg p ~graph ~initial_states =
                   Obs.advance obs (Phase.recovery_ticks (float_of_int e *. cfg.backoff)))
                 events
             end;
-            { Phase.traffic; payload = events }
+            {
+              Phase.traffic;
+              payload =
+                Array.init len (fun o ->
+                    vertex_writeback ~events:events.(o) blocks.(lo + o));
+            }
           end)
-        ~merge:merge_events ()
+        ~merge:(fun gi wbs -> merge_group (gi * group_size) wbs) ()
     end
   in
   (* --- Communication step ---------------------------------------- *)
@@ -390,9 +442,12 @@ let run cfg p ~graph ~initial_states =
         Obs.advance obs
           (Phase.recovery_ticks
              (delay +. backoff_seconds ~backoff:cfg.backoff ~retries:outcome.Protocol.retries));
-        blocks.(j).Block.inbox.(Graph.in_slot graph ~src:i ~dst:j) <- outcome.Protocol.shares;
         { Phase.traffic; payload = (outcome, delay) })
-      ~merge:(fun _ (o, delay) ->
+      ~merge:(fun e (o, delay) ->
+        (* The inbox write happens here, not in the task: an edge task may
+           run in a forked worker whose blocks are a private snapshot. *)
+        let i, j = edges.(e) in
+        blocks.(j).Block.inbox.(Graph.in_slot graph ~src:i ~dst:j) <- o.Protocol.shares;
         failures := !failures + o.Protocol.failures;
         recovered := !recovered + o.Protocol.recovered;
         unrecovered := !unrecovered + o.Protocol.unrecovered;
@@ -513,9 +568,14 @@ let run cfg p ~graph ~initial_states =
      injected-fault tallies, edge-privacy budget spend and the final
      traffic shape. Order is fixed, so exports are reproducible. *)
   List.iter (fun s -> Gmw.observe s obs) mpc_sessions;
+  (* Wire-level firings are excluded from the tick-domain registry: a run
+     that recovered from transport faults must export byte-identically to
+     the same run without a transport (Fault.is_wire's contract). They
+     remain visible in [faults_injected] and the transport metrics. *)
   List.iter
     (fun (k, c) ->
-      if c > 0 then Obs.incr obs ~by:c ("faults.injected." ^ Fault.kind_name k))
+      if c > 0 && not (Fault.is_wire k) then
+        Obs.incr obs ~by:c ("faults.injected." ^ Fault.kind_name k))
     (Fault.Injector.injected injector);
   if !retry_epsilon > 0.0 then Obs.add obs "privacy.retry_epsilon" !retry_epsilon;
   Obs.set obs "privacy.epsilon_query" p.Vertex_program.epsilon;
@@ -523,6 +583,13 @@ let run cfg p ~graph ~initial_states =
   Obs.incr obs ~by:n "run.nodes";
   Traffic.observe global obs;
   Obs.leave obs;
+  let transport_metrics =
+    match Executor.distributed_ctx exec with
+    | Some ctx ->
+        Distributed.clear_fault_source ctx;
+        Some (Distributed.metrics ctx)
+    | None -> None
+  in
   {
     output = Bitvec.to_int_signed output_bits;
     iterations = p.Vertex_program.iterations;
@@ -542,6 +609,7 @@ let run cfg p ~graph ~initial_states =
     mpc_ots = List.fold_left (fun a s -> a + Gmw.ots_performed s) 0 mpc_sessions;
     update_stats = Circuit.stats update_c;
     obs;
+    transport_metrics;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -617,6 +685,14 @@ let pp_report ppf r =
           (mb b) rs
       else Format.fprintf ppf "%-14s %8.3f s %10.3f MB@," (phase_name ph) s (mb b))
     r.phase_bytes;
+  (match r.transport_metrics with
+  | Some m ->
+      let c = Obs.Metrics.counter m in
+      Format.fprintf ppf
+        "transport: %d frame(s), %d respawn(s), %d suspicion(s), %d fenced, %d retransmit(s)@,"
+        (c "transport.frames_sent") (c "pool.respawns") (c "pool.suspicions")
+        (c "transport.fenced_frames") (c "transport.retransmits")
+  | None -> ());
   Format.fprintf ppf "total traffic: %.3f MB (mean %.3f MB/node)@]"
     (mb (Traffic.total r.traffic))
     (Traffic.mean_per_node r.traffic /. 1048576.0)

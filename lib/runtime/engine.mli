@@ -142,6 +142,12 @@ type report = {
       (** the run's observability collector (the shared no-op collector
           when [obs_level = Off]); all spans are closed — ready for the
           {!Dstress_obs.Obs} exporters *)
+  transport_metrics : Dstress_obs.Obs.Metrics.t option;
+      (** wall-domain transport/pool counters when the executor was
+          [Distributed] (reconnects, retransmits, backoff sleeps,
+          respawns, fenced frames, ...); [None] for in-process backends.
+          Deliberately separate from [obs] — tick-domain exports stay
+          byte-identical across executors. *)
 }
 
 val run :

@@ -1,5 +1,6 @@
 module Traffic = Dstress_mpc.Traffic
 module Obs = Dstress_obs.Obs
+module Fault = Dstress_faults.Fault
 
 type id = Setup | Initialization | Computation | Communication | Aggregation
 
@@ -12,11 +13,12 @@ let name = function
 
 let all = [ Setup; Initialization; Computation; Communication; Aggregation ]
 
-(* One simulated-recovery second is charged to the trace as this many
-   ticks (wire bytes are charged 1 tick each). *)
-let ticks_per_recovery_second = 1_000_000.0
+(* The seconds→ticks rounding rule lives in Fault so the engine's
+   recovery accounting and the transport's stall bookkeeping can never
+   disagree; these are retained as the runtime-facing aliases. *)
+let ticks_per_recovery_second = Fault.ticks_per_second
 
-let recovery_ticks s = int_of_float (s *. ticks_per_recovery_second)
+let recovery_ticks = Fault.delay_ticks
 
 module Accounting = struct
   type t = {
@@ -84,33 +86,36 @@ let run_tasks exec acc phase ?task_label ~count ~task ~merge () =
   let obs = acc.Accounting.obs in
   Obs.enter obs ("phase:" ^ name phase);
   let t0 = Unix.gettimeofday () in
-  (* Per-task child collectors keep span/metric emission race-free under a
-     domain pool; the index-ordered merge below rebases them onto the
+  (* Per-task child collectors keep span/metric emission race-free under
+     a domain pool; the index-ordered merge below rebases them onto the
      parent timeline, so the collected trace is schedule-independent.
-     When observability is off, fork returns the shared no-op collector
-     and nothing here allocates. *)
-  let children =
-    if Obs.enabled obs then Array.init count (fun _ -> Obs.fork obs)
-    else Array.make count obs
-  in
+     The child is created {e inside} the mapped function and returned
+     with the result: under the Distributed backend the task runs in a
+     forked worker, so the collector must travel with the task's payload
+     across the process boundary (Obs.t is plain marshal-safe data).
+     When observability is off, fork returns the collector unchanged and
+     the merge below is skipped. *)
   let results =
     Executor.map exec count (fun i ->
-        let child = children.(i) in
-        match task_label with
-        | Some label ->
-            if Obs.detailed child then Obs.enter child (label i);
-            let r = task child i in
-            if Obs.enabled child then Obs.advance child (Traffic.total r.traffic);
-            if Obs.detailed child then Obs.leave child;
-            r
-        | None -> task child i)
+        let child = Obs.fork obs in
+        let r =
+          match task_label with
+          | Some label ->
+              if Obs.detailed child then Obs.enter child (label i);
+              let r = task child i in
+              if Obs.enabled child then Obs.advance child (Traffic.total r.traffic);
+              if Obs.detailed child then Obs.leave child;
+              r
+          | None -> task child i
+        in
+        (r, child))
   in
   let bytes = ref 0 in
   Array.iteri
-    (fun i r ->
+    (fun i (r, child) ->
       bytes := !bytes + Traffic.total r.traffic;
       Traffic.merge_into ~dst:acc.Accounting.global r.traffic;
-      Obs.merge_into ~dst:obs children.(i);
+      if Obs.enabled obs then Obs.merge_into ~dst:obs child;
       merge i r.payload)
     results;
   Accounting.add_seconds acc phase (Unix.gettimeofday () -. t0);

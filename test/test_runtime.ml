@@ -324,6 +324,38 @@ let test_executor_map_basics () =
         (Executor.map (Executor.parallel ~jobs:2) 4 (fun i ->
              if i = 2 then raise Exit else i)))
 
+let test_executor_of_string () =
+  let ok spec =
+    match Executor.of_string spec with
+    | Ok e -> e
+    | Error m -> Alcotest.failf "of_string %S rejected: %s" spec m
+  in
+  Alcotest.(check bool) "sequential" true (ok "sequential" = Executor.sequential);
+  Alcotest.(check bool) "seq alias" true (ok "seq" = Executor.sequential);
+  Alcotest.(check bool) "case/space insensitive" true
+    (ok "  Parallel:4 " = Executor.parallel ~jobs:4);
+  Alcotest.(check bool) "bare parallel uses the recommended domain count" true
+    (ok "parallel" = Executor.parallel ~jobs:(Domain.recommended_domain_count ()));
+  Alcotest.(check string) "distributed:3" "distributed:3" (Executor.name (ok "distributed:3"));
+  (match ok "distributed" with
+  | Executor.Distributed _ -> ()
+  | _ -> Alcotest.fail "bare distributed must pick the Distributed backend");
+  (* Names round-trip through the parser. *)
+  List.iter
+    (fun spec ->
+      let e = ok spec in
+      Alcotest.(check string)
+        (Printf.sprintf "%S round-trips" spec)
+        (Executor.name e)
+        (Executor.name (ok (Executor.name e))))
+    [ "sequential"; "parallel:2"; "parallel:7"; "distributed:1"; "distributed:4" ];
+  List.iter
+    (fun spec ->
+      match Executor.of_string spec with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "of_string %S must be rejected" spec)
+    [ ""; "paralel"; "parallel:"; "parallel:0"; "parallel:x"; "distributed:-1"; "seq:2" ]
+
 let test_setup_traffic_is_external () =
   (* The trusted party's setup download lives on the dedicated external
      row: it equals the Setup phase bytes and never appears as node-sent
@@ -391,6 +423,7 @@ let () =
       ( "executor",
         [
           Alcotest.test_case "map basics" `Quick test_executor_map_basics;
+          Alcotest.test_case "of_string specs" `Quick test_executor_of_string;
           Alcotest.test_case "sequential = parallel (ring)" `Quick test_executors_agree_ring;
           Alcotest.test_case "sequential = parallel (two-level, uneven)" `Quick
             test_executors_agree_two_level_uneven;

@@ -161,6 +161,37 @@ let test_hex_invalid () =
     (fun () -> ignore (Hex.decode "zz"))
 
 (* ------------------------------------------------------------------ *)
+(* Crc32                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_crc32_known_vectors () =
+  (* The zlib/PNG/Ethernet check value, plus a couple of fixed points. *)
+  Alcotest.(check int32) "check value" 0xCBF43926l (Crc32.string "123456789");
+  Alcotest.(check int32) "empty" 0l (Crc32.string "");
+  Alcotest.(check int32) "single zero byte" 0xD202EF8Dl (Crc32.string "\x00");
+  Alcotest.(check int32) "ascii" 0x414FA339l (Crc32.string "The quick brown fox jumps over the lazy dog")
+
+let test_crc32_slice () =
+  let b = Bytes.of_string "xx123456789yy" in
+  Alcotest.(check int32) "offset/len slice" 0xCBF43926l (Crc32.digest ~off:2 ~len:9 b);
+  Alcotest.(check int32) "whole buffer default" (Crc32.string "xx123456789yy") (Crc32.digest b);
+  Alcotest.(check bool) "out of range rejected" true
+    (try
+       ignore (Crc32.digest ~off:10 ~len:9 b);
+       false
+     with Invalid_argument _ -> true)
+
+let test_crc32_detects_flip () =
+  let t = prng () in
+  for _ = 1 to 50 do
+    let b = Prng.bytes t (1 + Prng.int t 64) in
+    let c0 = Crc32.digest b in
+    let i = Prng.int t (Bytes.length b) in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl Prng.int t 8)));
+    Alcotest.(check bool) "bit flip changes crc" true (Crc32.digest b <> c0)
+  done
+
+(* ------------------------------------------------------------------ *)
 (* Stats                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -258,6 +289,12 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_hex_roundtrip;
           Alcotest.test_case "known vectors" `Quick test_hex_known;
           Alcotest.test_case "invalid input" `Quick test_hex_invalid;
+        ] );
+      ( "crc32",
+        [
+          Alcotest.test_case "known vectors" `Quick test_crc32_known_vectors;
+          Alcotest.test_case "offset/len slice" `Quick test_crc32_slice;
+          Alcotest.test_case "detects bit flips" `Quick test_crc32_detects_flip;
         ] );
       ( "stats",
         [
