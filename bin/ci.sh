@@ -42,6 +42,15 @@ for baseline in bench/baselines/BENCH_*.json; do
   dune exec bin/bench_diff.exe -- --counters-only "$baseline" "$CI_TMP/bench.json"
 done
 
+# Crypto backend smoke: a tiny EN run with real (Crypto-mode) base OTs on
+# the RFC 7919 2048-bit group — the full batched hot path (fixed-base
+# windows, block re-randomization, shared-c1 decryption, OT key exchange)
+# at production parameters. Sized to ~6 session pairs so it stays around
+# a minute.
+echo "== crypto backend smoke (--ot crypto --group ffdhe2048) =="
+dune exec bin/dstress.exe -- stress --core 2 --periphery 1 -i 1 -k 1 \
+  --ot crypto --group ffdhe2048 > /dev/null
+
 # Observability smoke: the same faulty run under every executor backend —
 # including the multi-process distributed one — must export byte-identical
 # trace/metrics files, and they must parse as JSON.

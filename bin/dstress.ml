@@ -25,17 +25,36 @@ module Fault = Dstress_faults.Fault
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"INT" ~doc:"PRNG seed for the run.")
 
+(* The accepted names and the help text both come from Group.names, so a
+   group added to the registry shows up here automatically. *)
 let group_arg =
   Arg.(
     value
-    & opt (enum [ ("toy", "toy"); ("medium", "medium"); ("standard", "standard") ]) "toy"
+    & opt (enum (List.map (fun n -> (n, n)) Group.names)) "toy"
     & info [ "group" ] ~docv:"NAME"
-        ~doc:"ElGamal group size: toy (64-bit, fast), medium (128), standard (256).")
+        ~doc:
+          (Printf.sprintf "ElGamal group: one of %s."
+             (String.concat ", " Group.names)))
 
 let k_arg =
   Arg.(
     value & opt int 2
     & info [ "k" ] ~docv:"INT" ~doc:"Collusion bound; blocks have k+1 members.")
+
+let ot_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("simulation", Dstress_crypto.Ot_ext.Simulation);
+             ("crypto", Dstress_crypto.Ot_ext.Crypto);
+           ])
+        Dstress_crypto.Ot_ext.Simulation
+    & info [ "ot" ] ~docv:"MODE"
+        ~doc:
+          "Oblivious-transfer backend for the GMW computation step: simulation \
+           (cost-model only) or crypto (real base OTs + IKNP extension).")
 
 let core_arg =
   Arg.(value & opt int 3 & info [ "core" ] ~docv:"INT" ~doc:"Core banks in the network.")
@@ -367,10 +386,10 @@ let make_network ~seed ~core ~periphery ~shock =
   let inst = Banking.en_of_topology prng topo () in
   (Banking.shock_en prng inst topo shock, topo)
 
-let stress model seed grpname k core periphery iterations epsilon shock reference_only
-    fault_rate fault_crashes max_retries backoff jobs executor_spec socket_dir
-    wire_fault_rate wire_faults transport_metrics slice_width obs_level trace metrics
-    trace_wall profile =
+let stress model seed grpname ot_mode k core periphery iterations epsilon shock
+    reference_only fault_rate fault_crashes max_retries backoff jobs executor_spec
+    socket_dir wire_fault_rate wire_faults transport_metrics slice_width obs_level trace
+    metrics trace_wall profile =
   let grp = Group.by_name grpname in
   let obs_level = effective_obs_level obs_level ~trace ~metrics ~trace_wall ~profile in
   let exec = resolve_executor ~spec:executor_spec ~jobs ~socket_dir in
@@ -391,6 +410,7 @@ let stress model seed grpname k core periphery iterations epsilon shock referenc
           faulty_config
             { (Engine.default_config grp ~k ~degree_bound:degree ~seed:(string_of_int seed)) with
               Engine.executor = exec;
+              ot_mode;
               slice_width;
               obs_level }
             ~graph ~iterations ~seed ~fault_rate ~fault_crashes ~max_retries ~backoff
@@ -425,6 +445,7 @@ let stress model seed grpname k core periphery iterations epsilon shock referenc
           faulty_config
             { (Engine.default_config grp ~k ~degree_bound:degree ~seed:(string_of_int seed)) with
               Engine.executor = exec;
+              ot_mode;
               slice_width;
               obs_level }
             ~graph ~iterations ~seed ~fault_rate ~fault_crashes ~max_retries ~backoff
@@ -449,7 +470,8 @@ let stress_cmd =
   Cmd.v
     (Cmd.info "stress" ~doc)
     Term.(
-      const stress $ model_arg $ seed_arg $ group_arg $ k_arg $ core_arg $ periphery_arg
+      const stress $ model_arg $ seed_arg $ group_arg $ ot_arg $ k_arg $ core_arg
+      $ periphery_arg
       $ iterations_arg $ epsilon_arg $ shock_arg $ reference_only_arg $ fault_rate_arg
       $ fault_crashes_arg $ max_retries_arg $ backoff_arg $ jobs_arg $ executor_arg
       $ socket_dir_arg $ wire_fault_rate_arg $ wire_faults_arg $ transport_metrics_arg

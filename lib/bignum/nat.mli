@@ -4,10 +4,10 @@
     sealed (no [opam install]), so we implement multi-precision arithmetic
     from scratch rather than depending on zarith. Numbers are immutable.
 
-    The representation is a little-endian array of 26-bit limbs, chosen so
-    that a limb product (2^52) plus carries fits comfortably in OCaml's
-    63-bit native [int] during schoolbook multiplication and Montgomery
-    reduction. *)
+    The representation is a little-endian array of 30-bit limbs — the
+    widest width for which the fused Montgomery multiply-and-reduce step
+    (two limb products plus carries per inner iteration) stays exact in
+    OCaml's 63-bit native [int]. *)
 
 type t
 
@@ -84,6 +84,11 @@ val of_bytes_be : bytes -> t
 val to_bytes_be : t -> bytes
 (** Minimal-length big-endian encoding; [to_bytes_be zero] is empty. *)
 
+val to_bytes_be_padded : t -> len:int -> bytes
+(** Fixed-width big-endian encoding, left-padded with zero bytes to exactly
+    [len] bytes. Raises [Invalid_argument] if the value needs more than
+    [len] bytes. *)
+
 val of_hex : string -> t
 (** Accepts an even- or odd-length hex string. *)
 
@@ -111,7 +116,13 @@ val pp : Format.formatter -> t -> unit
 (** Decimal rendering. *)
 
 (** Montgomery-form contexts, exposed for hot loops in the crypto layer that
-    perform many multiplications modulo the same odd modulus. *)
+    perform many operations modulo the same odd modulus.
+
+    Internally this is a mutable word-array kernel: fixed-width limb
+    buffers sized per modulus, in-place fused CIOS multiplication and SOS
+    squaring, with per-context scratch space reused across calls so the
+    inner loops never allocate. The API below stays immutable — every
+    entry point takes and returns normalized [t] values. *)
 module Mont : sig
   type ctx
 
@@ -127,5 +138,34 @@ module Mont : sig
 
   val pow : ctx -> t -> t -> t
   (** [pow ctx base_mont exp] with Montgomery-form base and plain exponent;
-      result in Montgomery form. *)
+      result in Montgomery form (as for every other entry point below). *)
+
+  type precomp
+  (** Fixed-base window table: all powers [base^(d * 2^(w*i))] for a 4–6
+      bit window [w], covering exponents up to a fixed bit width. *)
+
+  val precompute : ctx -> t -> ebits:int -> precomp
+  (** [precompute ctx base_mont ~ebits] builds the window table of a
+      Montgomery-form base for exponents of at most [ebits] bits. *)
+
+  val precomp_bits : precomp -> int
+  (** Exponent bit width the table covers. *)
+
+  val pow_precomp : ctx -> precomp -> t -> t
+  (** Fixed-base exponentiation through the table: ~[ebits/w] multiplies
+      and no squarings. Falls back to {!pow} when the exponent is wider
+      than the table. *)
+
+  val pow_base_many : ctx -> t -> t array -> t array
+  (** One shared Montgomery-form base raised to many exponents. Small
+      batches share one right-to-left squaring chain across the batch;
+      large batches build a throwaway window table. *)
+
+  val pow_many : ctx -> (t * t) array -> t array
+  (** Independent (base, exponent) pairs, Montgomery-form bases. *)
+
+  val multi_pow : ctx -> (t * t) array -> t
+  (** Simultaneous multi-exponentiation [prod_i base_i ^ exp_i] over
+      Montgomery-form bases: Shamir's trick (joint combination table) up
+      to four bases, Pippenger-style bucket windows beyond. *)
 end

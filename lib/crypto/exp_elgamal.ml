@@ -4,13 +4,9 @@ type ciphertext = Elgamal.ciphertext = { c1 : Group.elt; c2 : Group.elt }
 
 let keygen = Elgamal.keygen
 
-(* Encode an integer (possibly negative) as an exponent mod q. *)
-let encode_exponent grp v =
-  let q = Group.q grp in
-  if v >= 0 then Nat.rem (Nat.of_int v) q
-  else Nat.mod_sub Nat.zero (Nat.rem (Nat.of_int (-v)) q) ~m:q
-
-let g_to_the grp v = Group.pow_g grp (encode_exponent grp v)
+(* The mod-q encoding of signed plaintexts lives in Group.pow_g_int, which
+   also memoizes the resulting powers. *)
+let g_to_the grp v = Group.pow_g_int grp v
 
 let encrypt prg grp h v = Elgamal.encrypt prg grp h (g_to_the grp v)
 
@@ -67,5 +63,55 @@ let encrypt_multi prg grp recipients =
       recipients
   in
   (c1, c2s)
+
+(* A block transfer's worth of multi-recipient bundles in one batched
+   call. Ephemerals are drawn in bundle order — a seeded PRG yields
+   exactly the bundles a sequential [encrypt_multi] loop would — and the
+   per-recipient [h^y] exponentiations are then regrouped by key: each
+   member key appears in every bundle of a transfer, so one shared-base
+   batch per distinct key replaces a generic exponentiation per
+   (bundle, recipient). *)
+let encrypt_multi_batch prg grp bundles =
+  let ys = Array.map (fun _ -> Group.random_exponent prg grp) bundles in
+  let c1s = Array.map (Group.pow_g grp) ys in
+  let occs_by_key : (int * int) list Nat_table.t = Nat_table.create 16 in
+  Array.iteri
+    (fun bi recipients ->
+      List.iteri
+        (fun pi (h, _) ->
+          let prev = try Nat_table.find occs_by_key h with Not_found -> [] in
+          Nat_table.replace occs_by_key h ((bi, pi) :: prev))
+        recipients)
+    bundles;
+  let hys =
+    Array.map (fun recipients -> Array.make (List.length recipients) Nat.zero) bundles
+  in
+  Nat_table.iter
+    (fun h occs ->
+      let occs = Array.of_list (List.rev occs) in
+      let rs = Group.pow_base_many grp h (Array.map (fun (bi, _) -> ys.(bi)) occs) in
+      Array.iteri (fun j (bi, pi) -> hys.(bi).(pi) <- rs.(j)) occs)
+    occs_by_key;
+  Array.mapi
+    (fun bi recipients ->
+      ( c1s.(bi),
+        List.mapi
+          (fun pi (_, v) -> Group.mul grp (g_to_the grp v) hys.(bi).(pi))
+          recipients ))
+    bundles
+
+(* Batched lookup decryption of ciphertexts sharing one ephemeral part
+   (the Kurosawa bundles after adjustment): the blinding factors c1^x are
+   one shared-base batch, and their inverses one batch inversion. *)
+let decrypt_shared grp table ~c1 pairs =
+  let ss = Group.pow_base_many grp c1 (Array.map fst pairs) in
+  let invs = Group.inv_many grp ss in
+  Array.mapi
+    (fun i (_, c2) -> Table.lookup table (Group.mul grp c2 invs.(i)))
+    pairs
+
+let adjust_many grp cs r =
+  let c1s = Group.rerandomize_many grp (Array.map (fun c -> c.c1) cs) r in
+  Array.mapi (fun i c -> { c with c1 = c1s.(i) }) cs
 
 let multi_ciphertext_bytes grp l = (l + 1) * Group.element_bytes grp

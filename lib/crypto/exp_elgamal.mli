@@ -70,6 +70,29 @@ val encrypt_multi :
     [(g^y, c2_i)]; one group element is shared by all recipients, saving
     both exponentiations and bandwidth. *)
 
+val encrypt_multi_batch :
+  Prg.t ->
+  Group.t ->
+  (Elgamal.public_key * int) list array ->
+  (Group.elt * Group.elt list) array
+(** A whole block transfer's bundles through one batched call. Ephemerals
+    are drawn in bundle order (same PRG state ⇒ bit-identical to a
+    sequential {!encrypt_multi} loop) and the [h^y] exponentiations are
+    regrouped per distinct key into shared-base batches. *)
+
+val decrypt_shared :
+  Group.t ->
+  Table.t ->
+  c1:Group.elt ->
+  (Elgamal.secret_key * Group.elt) array ->
+  int option array
+(** Batched {!decrypt} of ciphertexts [(c1, c2_i)] sharing one (already
+    adjusted) ephemeral part: the [c1^x_i] blindings are one shared-base
+    batch and the inverses one batch inversion. *)
+
+val adjust_many : Group.t -> ciphertext array -> Group.exponent -> ciphertext array
+(** {!adjust} over a block with a shared [r]. *)
+
 val multi_ciphertext_bytes : Group.t -> int -> int
 (** [multi_ciphertext_bytes grp l]: wire size of [l] messages sent with the
     shared-ephemeral optimization ([l + 1] group elements). *)

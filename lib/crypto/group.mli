@@ -8,11 +8,11 @@
     re-randomization, ephemeral-key reuse — is generic over the group, so
     the substitution changes constants but not behaviour.
 
-    Three parameter sets are provided: [toy] (64-bit, for fast unit tests),
-    [medium] (128-bit) and [standard] (256-bit, comparable security margin
-    story to the paper's "more than enough for current cryptanalysis" — the
-    point of the evaluation is cost scaling, not concrete security). All
-    were generated offline with a fixed seed and are embedded as hex. *)
+    Five parameter sets are provided: [toy] (64-bit, for fast unit tests),
+    [medium] (128-bit) and [standard] (256-bit) generated offline with a
+    fixed seed, plus the RFC 7919 [ffdhe2048] and [ffdhe3072] groups —
+    real paper-scale moduli with [g = 2] — for Crypto-backend runs at
+    full key sizes. All are embedded as hex. *)
 
 type t
 (** Group parameters plus a Montgomery context for fast arithmetic mod p. *)
@@ -31,8 +31,18 @@ val toy : t Lazy.t
 val medium : t Lazy.t
 val standard : t Lazy.t
 
+val ffdhe2048 : t Lazy.t
+val ffdhe3072 : t Lazy.t
+(** RFC 7919 finite-field DH groups: safe primes with [g = 2] (a quadratic
+    residue since [p = 7 mod 8], hence of order [q = (p-1)/2]). *)
+
+val names : string list
+(** Every name {!by_name} accepts, in registry order. CLI help and error
+    messages are generated from this list so they cannot drift. *)
+
 val by_name : string -> t
-(** ["toy" | "medium" | "standard"]. Raises [Invalid_argument] otherwise. *)
+(** Looks a group up in {!names}. Raises [Invalid_argument] (listing the
+    valid names) otherwise. *)
 
 val p : t -> Dstress_bignum.Nat.t
 val q : t -> Dstress_bignum.Nat.t
@@ -47,7 +57,37 @@ val inv : t -> elt -> elt
 val pow : t -> elt -> exponent -> elt
 
 val pow_g : t -> exponent -> elt
-(** [pow_g t e] is [g^e], via a cached Montgomery-form base. *)
+(** [pow_g t e] is [g^e] through the group's precomputed fixed-base window
+    table: one table multiplication per window digit, no squarings. *)
+
+val pow_g_int : t -> int -> elt
+(** [pow_g_int t v] is [g^v] for a signed machine integer (negative [v]
+    encodes as [q - |v|]), memoized — exponential ElGamal re-encrypts the
+    same small plaintexts constantly, and the negative encodings are
+    full-width exponents. *)
+
+val pow_many : t -> (elt * exponent) array -> elt array
+(** Independent exponentiations; generator-based pairs go through the
+    fixed-base table. *)
+
+val pow_base_many : t -> elt -> exponent array -> elt array
+(** One shared base, many exponents — the shape of batched lookup-table
+    decryption (shared adjusted ephemeral) and per-key bundle encryption.
+    Large batches build (and cache, per key) a window table; small ones
+    share a single squaring chain across the batch. *)
+
+val rerandomize_many : t -> elt array -> exponent -> elt array
+(** Many bases, one shared exponent — the shape of certificate blinding
+    ([pk_i^r]) and ciphertext adjustment. *)
+
+val multi_pow : t -> (elt * exponent) array -> elt
+(** Simultaneous product exponentiation [prod_i b_i^e_i] (Shamir's trick /
+    Pippenger buckets); generator-based pairs are merged mod q and routed
+    through the fixed-base table. Bases must be subgroup elements. *)
+
+val inv_many : t -> elt array -> elt array
+(** Montgomery's batch-inversion trick: one modular inverse plus [3(n-1)]
+    multiplications for the whole batch. *)
 
 val random_exponent : Prg.t -> t -> exponent
 (** Uniform in [\[1, q)] (never zero, so re-randomizers are invertible). *)

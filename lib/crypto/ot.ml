@@ -5,21 +5,42 @@ let xor_bytes a b =
   Bytes.init (Bytes.length a) (fun i ->
       Char.chr (Char.code (Bytes.get a i) lxor Char.code (Bytes.get b i)))
 
+(* random_point is a pure function of (p, tag), and every base OT of a run
+   asks for the same tag — memoize it rather than re-hashing ~p bits of
+   digest output per OT. *)
+let point_cache : (Nat.t * string, Nat.t) Hashtbl.t = Hashtbl.create 8
+let point_lock = Mutex.create ()
+
 let random_point grp tag =
   (* Hash the tag into Z_p and square to land in the order-q subgroup of a
      safe-prime group. Retry (by extending the tag) until nonzero. *)
   let p = Group.p grp in
-  let rec go tag =
-    let raw = ref (Bytes.of_string "") in
-    while 8 * Bytes.length !raw < Nat.num_bits p + 64 do
-      let i = Bytes.length !raw / 32 in
-      raw := Bytes.cat !raw (Sha256.digest (Bytes.of_string (tag ^ ":" ^ string_of_int i)))
-    done;
-    let candidate = Nat.rem (Nat.of_bytes_be !raw) p in
-    if Nat.is_zero candidate || Nat.is_one candidate then go (tag ^ "#")
-    else Group.mul grp candidate candidate
+  let key = (p, tag) in
+  let cached =
+    Mutex.lock point_lock;
+    let r = Hashtbl.find_opt point_cache key in
+    Mutex.unlock point_lock;
+    r
   in
-  go tag
+  match cached with
+  | Some pt -> pt
+  | None ->
+      let rec go tag =
+        let raw = ref (Bytes.of_string "") in
+        while 8 * Bytes.length !raw < Nat.num_bits p + 64 do
+          let i = Bytes.length !raw / 32 in
+          raw := Bytes.cat !raw (Sha256.digest (Bytes.of_string (tag ^ ":" ^ string_of_int i)))
+        done;
+        let candidate = Nat.rem (Nat.of_bytes_be !raw) p in
+        if Nat.is_zero candidate || Nat.is_one candidate then go (tag ^ "#")
+        else Group.mul grp candidate candidate
+      in
+      let pt = go tag in
+      Mutex.lock point_lock;
+      if Hashtbl.length point_cache > 64 then Hashtbl.reset point_cache;
+      Hashtbl.replace point_cache key pt;
+      Mutex.unlock point_lock;
+      pt
 
 (* Key-derivation for the hashed-ElGamal KEM: expand H(kem || index) to the
    message length. *)

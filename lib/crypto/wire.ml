@@ -15,12 +15,8 @@ let take r n =
 
 (* Fixed-width big-endian natural. *)
 let encode_nat_fixed width v =
-  let raw = Nat.to_bytes_be v in
-  let len = Bytes.length raw in
-  if len > width then failwith "Wire: value too wide";
-  let out = Bytes.make width '\x00' in
-  Bytes.blit raw 0 out (width - len) len;
-  out
+  try Nat.to_bytes_be_padded v ~len:width
+  with Invalid_argument _ -> failwith "Wire: value too wide"
 
 let decode_nat_fixed width r = Nat.of_bytes_be (take r width)
 

@@ -95,30 +95,36 @@ let transfer ?(recovery = no_recovery) ?inject ?(obs = Obs.off) params ~prg ~noi
      ephemerals, and (for Final) newly drawn geometric noise. *)
   let attempt ~table ~inject =
     let missed = ref [] in
-    let dec ~member ~bit c =
-      let result =
-        if forced inject ~member ~bit then None
-        else Exp_elgamal.decrypt grp (secret_of member bit) table c
-      in
-      match result with
-      | Some v -> v
-      | None ->
-          missed := { member; bit } :: !missed;
-          0
+    (* Batched decryption of one member's L-bit bundle (all ciphertexts
+       share an already-adjusted ephemeral part): the blindings [c1^x_t]
+       are one shared-base batch and the unblinding inverses one batch
+       inversion. Injected misses overwrite the decrypted value, so the
+       missed-position order (bit ascending) matches the scalar loop. *)
+    let dec_bundle ~member ~c1 c2s =
+      let pairs = Array.mapi (fun bit c2 -> (secret_of member bit, c2)) c2s in
+      let results = Exp_elgamal.decrypt_shared grp table ~c1 pairs in
+      Array.mapi
+        (fun bit r ->
+          let r = if forced inject ~member ~bit then None else r in
+          match r with
+          | Some v -> v
+          | None ->
+              missed := { member; bit } :: !missed;
+              0)
+        results
     in
     match variant with
     | Strawman1 ->
         (* Member x of B_i encrypts its own share, bit by bit, to the x-th
-           member of B_j. *)
+           member of B_j. One batched call for the whole block (ephemerals
+           drawn in member order, as a scalar loop would). *)
         let bundles =
-          Array.mapi
-            (fun x share ->
-              let recipients =
-                List.init l (fun t ->
-                    (cert.Setup.member_keys.(x).(t), if Bitvec.get share t then 1 else 0))
-              in
-              Exp_elgamal.encrypt_multi prg grp recipients)
-            shares
+          Exp_elgamal.encrypt_multi_batch prg grp
+            (Array.mapi
+               (fun x share ->
+                 List.init l (fun t ->
+                     (cert.Setup.member_keys.(x).(t), if Bitvec.get share t then 1 else 0)))
+               shares)
         in
         Array.iteri
           (fun x _ -> Traffic.add traffic ~src:bi.(x) ~dst:sender (multi_bytes l))
@@ -126,43 +132,48 @@ let transfer ?(recovery = no_recovery) ?inject ?(obs = Obs.off) params ~prg ~noi
         Traffic.add traffic ~src:sender ~dst:receiver (kp1 * multi_bytes l);
         if killed inject then (zero_shares (), Killed, None)
         else begin
-          (* j adjusts every ephemeral and forwards each bundle to its member. *)
+          (* j adjusts every ephemeral — one shared-exponent batch — and
+             forwards each bundle to its member. *)
+          let c1s = Group.rerandomize_many grp (Array.map fst bundles) r in
           let new_shares =
             Array.mapi
-              (fun y (c1, c2s) ->
-                let c1 = Group.pow grp c1 r in
+              (fun y (_, c2s) ->
                 Traffic.add traffic ~src:receiver ~dst:bj.(y) (multi_bytes l);
-                Bitvec.init l (fun t ->
-                    let c = { Exp_elgamal.c1; c2 = List.nth c2s t } in
-                    dec ~member:y ~bit:t c = 1))
+                let vals = dec_bundle ~member:y ~c1:c1s.(y) (Array.of_list c2s) in
+                Bitvec.init l (fun t -> vals.(t) = 1))
               bundles
           in
           (new_shares, Decrypted (List.rev !missed), None)
         end
     | Strawman2 | Strawman3 | Final ->
         (* Every member x splits its share into k+1 subshares (one per
-           recipient) and encrypts all (k+1)*L bits under one ephemeral. *)
+           recipient) and encrypts all (k+1)*L bits under one ephemeral.
+           All bundles of an attempt address the same (k+1)*L member keys,
+           so the whole attempt is one batched encryption call that groups
+           the h^y work per key across bundles. The subshares and then the
+           ephemerals are drawn in member order, exactly as the scalar
+           loop drew them. *)
         let subshares = Array.map (fun s -> Sharing.subshare prg ~parties:kp1 s) shares in
-        let bundles =
+        let recipient_lists =
           Array.mapi
             (fun x _ ->
-              let recipients =
-                List.concat
-                  (List.init kp1 (fun y ->
-                       List.init l (fun t ->
-                           ( cert.Setup.member_keys.(y).(t),
-                             if Bitvec.get subshares.(x).(y) t then 1 else 0 ))))
-              in
-              Exp_elgamal.encrypt_multi prg grp recipients)
+              List.concat
+                (List.init kp1 (fun y ->
+                     List.init l (fun t ->
+                         ( cert.Setup.member_keys.(y).(t),
+                           if Bitvec.get subshares.(x).(y) t then 1 else 0 )))))
             shares
         in
-        Array.iteri
-          (fun x _ -> Traffic.add traffic ~src:bi.(x) ~dst:sender (multi_bytes (kp1 * l)))
-          bundles;
+        let charge_senders () =
+          Array.iteri
+            (fun x _ -> Traffic.add traffic ~src:bi.(x) ~dst:sender (multi_bytes (kp1 * l)))
+            shares
+        in
         let c2_of (_, c2s) y t = List.nth c2s ((y * l) + t) in
         let finish_shared_sums c1_combined c2_combined =
           (* j adjusts the single combined ephemeral and hands each member
-             its L summed ciphertexts. *)
+             its L summed ciphertexts, decrypted as one shared-c1 batch per
+             member. *)
           Traffic.add traffic ~src:sender ~dst:receiver (multi_bytes (kp1 * l));
           if killed inject then (zero_shares (), Killed, None)
           else begin
@@ -170,9 +181,7 @@ let transfer ?(recovery = no_recovery) ?inject ?(obs = Obs.off) params ~prg ~noi
             let sums =
               Array.init kp1 (fun y ->
                   Traffic.add traffic ~src:receiver ~dst:bj.(y) (multi_bytes l);
-                  Array.init l (fun t ->
-                      let c = { Exp_elgamal.c1 = c1_adjusted; c2 = c2_combined.(y).(t) } in
-                      dec ~member:y ~bit:t c))
+                  dec_bundle ~member:y ~c1:c1_adjusted c2_combined.(y))
             in
             let new_shares =
               Array.map (fun row -> Bitvec.init l (fun t -> parity row.(t))) sums
@@ -180,22 +189,25 @@ let transfer ?(recovery = no_recovery) ?inject ?(obs = Obs.off) params ~prg ~noi
             (new_shares, Decrypted (List.rev !missed), Some sums)
           end
         in
-        let strawman2 () =
-          (* i forwards every bundle unchanged; j adjusts all ephemerals;
-             each recipient decrypts k+1 subshares and XORs them. *)
+        let strawman2 bundles =
+          (* i forwards every bundle unchanged; j adjusts all ephemerals in
+             one shared-exponent batch; each recipient decrypts k+1
+             subshare bundles and XORs them. *)
           Traffic.add traffic ~src:sender ~dst:receiver (kp1 * multi_bytes (kp1 * l));
           if killed inject then (zero_shares (), Killed, None)
           else begin
+            let c1s = Group.rerandomize_many grp (Array.map fst bundles) r in
             let new_shares =
               Array.init kp1 (fun y ->
                   Traffic.add traffic ~src:receiver ~dst:bj.(y) (kp1 * multi_bytes l);
                   let received =
                     Array.mapi
-                      (fun x (c1, _) ->
-                        let c1 = Group.pow grp c1 r in
-                        Bitvec.init l (fun t ->
-                            let c = { Exp_elgamal.c1; c2 = c2_of bundles.(x) y t } in
-                            dec ~member:y ~bit:t c = 1))
+                      (fun x bundle ->
+                        let vals =
+                          dec_bundle ~member:y ~c1:c1s.(x)
+                            (Array.init l (fun t -> c2_of bundle y t))
+                        in
+                        Bitvec.init l (fun t -> vals.(t) = 1))
                       bundles
                   in
                   Bitvec.xor_all (Array.to_list received))
@@ -203,7 +215,7 @@ let transfer ?(recovery = no_recovery) ?inject ?(obs = Obs.off) params ~prg ~noi
             (new_shares, Decrypted (List.rev !missed), None)
           end
         in
-        let combined () =
+        let combined bundles =
           (* i homomorphically sums the per-bit ciphertexts across the k+1
              senders; the shared ephemerals multiply into a single one. *)
           let c1_senders =
@@ -220,15 +232,24 @@ let transfer ?(recovery = no_recovery) ?inject ?(obs = Obs.off) params ~prg ~noi
           (c1_senders, combined_c2)
         in
         (match variant with
-        | Strawman2 -> strawman2 ()
+        | Strawman2 ->
+            let bundles = Exp_elgamal.encrypt_multi_batch prg grp recipient_lists in
+            charge_senders ();
+            strawman2 bundles
         | Strawman3 ->
-            let c1, c2 = combined () in
+            let bundles = Exp_elgamal.encrypt_multi_batch prg grp recipient_lists in
+            charge_senders ();
+            let c1, c2 = combined bundles in
             finish_shared_sums c1 c2
         | Final ->
-            let c1_senders, combined_c2 = combined () in
             (* i additionally encrypts an even geometric noise term for
                every (recipient, bit) under one more shared ephemeral and
-               multiplies it in. *)
+               multiplies it in. The noise bundle rides in the same batched
+               encryption as the share bundles (it addresses the same
+               keys); its values come from the independent [noise] stream,
+               drawn in the same (member, bit) order as before, and the
+               ephemerals still leave [prg] in bundle order — so both
+               streams yield the values the unbatched code drew. *)
             let noise_values =
               Array.init kp1 (fun _ ->
                   Array.init l (fun _ ->
@@ -240,7 +261,14 @@ let transfer ?(recovery = no_recovery) ?inject ?(obs = Obs.off) params ~prg ~noi
                      List.init l (fun t ->
                          (cert.Setup.member_keys.(y).(t), noise_values.(y).(t)))))
             in
-            let noise_c1, noise_c2s = Exp_elgamal.encrypt_multi prg grp noise_recipients in
+            let all =
+              Exp_elgamal.encrypt_multi_batch prg grp
+                (Array.append recipient_lists [| noise_recipients |])
+            in
+            let bundles = Array.sub all 0 kp1 in
+            let noise_c1, noise_c2s = all.(kp1) in
+            charge_senders ();
+            let c1_senders, combined_c2 = combined bundles in
             let c1_combined = Group.mul grp c1_senders noise_c1 in
             let noised_c2 =
               Array.mapi

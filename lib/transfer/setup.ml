@@ -93,9 +93,11 @@ let run prg grp ~n ~k ~degree_bound ~bits =
   let roster_signature = Schnorr.sign prg grp tp_secret (roster_string blocks agg_block) in
   let make_certificate i slot =
     let r = neighbor_keys.(i).(slot) in
+    (* All (k+1)*L member keys of a certificate are raised to one shared
+       neighbor key: a single many-bases/one-exponent batch. *)
     let keys =
       Array.map
-        (fun member -> Array.map (fun pk -> Group.pow grp pk r) node_keys.(member).publics)
+        (fun member -> Group.rerandomize_many grp node_keys.(member).publics r)
         blocks.(i)
     in
     {

@@ -193,6 +193,205 @@ let test_mont_rejects_even () =
       ignore (Nat.Mont.create (Nat.of_int 100)))
 
 (* ------------------------------------------------------------------ *)
+(* Differential: word-array kernel vs schoolbook references            *)
+(* ------------------------------------------------------------------ *)
+
+(* Schoolbook references built only on the generic divmod path — a
+   completely independent computation from the Montgomery word-array
+   kernel they check. *)
+let school_mod_mul a b ~m = Nat.rem (Nat.mul a b) m
+
+let school_mod_pow ~base ~exp ~m =
+  let base = Nat.rem base m in
+  let r = ref (Nat.rem Nat.one m) in
+  for i = Nat.num_bits exp - 1 downto 0 do
+    r := Nat.rem (Nat.mul !r !r) m;
+    if Nat.bit exp i then r := Nat.rem (Nat.mul !r base) m
+  done;
+  !r
+
+(* Random odd modulus of exactly [bits] bits (>= 2). *)
+let odd_modulus t bits =
+  let m = Nat.add (Nat.shift_left Nat.one (bits - 1)) (Nat.random_bits t (bits - 1)) in
+  if Nat.is_even m then Nat.add m Nat.one else m
+
+(* The kernel packs values into 30-bit limbs, so widths straddling limb
+   boundaries (1, 2 and many limbs, exact multiples and off-by-one) are
+   where carry/reduction bugs hide. *)
+let boundary_widths = [ 5; 29; 30; 31; 59; 60; 61; 89; 91; 120; 256; 521 ]
+
+let test_kernel_mul_vs_schoolbook () =
+  let t = prng () in
+  List.iter
+    (fun bits ->
+      let m = odd_modulus t bits in
+      let ctx = Nat.Mont.create m in
+      for _ = 1 to 25 do
+        let a = Nat.random_below t m and b = Nat.random_below t m in
+        let got =
+          Nat.Mont.from_mont ctx
+            (Nat.Mont.mul ctx (Nat.Mont.to_mont ctx a) (Nat.Mont.to_mont ctx b))
+        in
+        Alcotest.check nat
+          (Printf.sprintf "mul %d bits" bits)
+          (school_mod_mul a b ~m) got;
+        Alcotest.check nat
+          (Printf.sprintf "mod_mul %d bits" bits)
+          (school_mod_mul a b ~m)
+          (Nat.mod_mul a b ~m)
+      done)
+    boundary_widths
+
+let test_kernel_pow_vs_schoolbook () =
+  let t = prng () in
+  List.iter
+    (fun bits ->
+      let m = odd_modulus t bits in
+      for _ = 1 to 5 do
+        let b = Nat.random_below t m in
+        let e = Nat.random_bits t (min bits 128) in
+        Alcotest.check nat
+          (Printf.sprintf "mod_pow %d bits" bits)
+          (school_mod_pow ~base:b ~exp:e ~m)
+          (Nat.mod_pow ~base:b ~exp:e ~m)
+      done;
+      (* exponent edge cases *)
+      let b = Nat.random_below t m in
+      Alcotest.check nat "exp 0" (Nat.rem Nat.one m)
+        (Nat.mod_pow ~base:b ~exp:Nat.zero ~m);
+      Alcotest.check nat "exp 1" (Nat.rem b m) (Nat.mod_pow ~base:b ~exp:Nat.one ~m))
+    boundary_widths
+
+let test_precomp_vs_pow () =
+  let t = prng () in
+  List.iter
+    (fun bits ->
+      let m = odd_modulus t bits in
+      let ctx = Nat.Mont.create m in
+      let base = Nat.random_below t m in
+      let bm = Nat.Mont.to_mont ctx base in
+      let ebits = 160 in
+      let pre = Nat.Mont.precompute ctx bm ~ebits in
+      Alcotest.(check bool) "covers ebits" true (Nat.Mont.precomp_bits pre >= ebits);
+      let exps =
+        Nat.zero :: Nat.one
+        :: Nat.sub (Nat.shift_left Nat.one ebits) Nat.one
+        :: List.init 10 (fun _ -> Nat.random_bits t ebits)
+      in
+      List.iter
+        (fun e ->
+          let got = Nat.Mont.from_mont ctx (Nat.Mont.pow_precomp ctx pre e) in
+          Alcotest.check nat
+            (Printf.sprintf "pow_precomp %d bits" bits)
+            (school_mod_pow ~base ~exp:e ~m)
+            got)
+        exps;
+      (* wider than the table: must fall back, not truncate *)
+      let wide = Nat.random_bits t (ebits + 40) in
+      Alcotest.check nat "fallback beyond table"
+        (school_mod_pow ~base ~exp:wide ~m)
+        (Nat.Mont.from_mont ctx (Nat.Mont.pow_precomp ctx pre wide)))
+    [ 61; 256 ]
+
+let test_pow_base_many_vs_pow () =
+  let t = prng () in
+  let m = odd_modulus t 256 in
+  let ctx = Nat.Mont.create m in
+  let base = Nat.random_below t m in
+  let bm = Nat.Mont.to_mont ctx base in
+  (* batch sizes on both sides of the shared-chain / window-table cutoff *)
+  List.iter
+    (fun n ->
+      let exps = Array.init n (fun _ -> Nat.random_bits t 200) in
+      let got =
+        Array.map (Nat.Mont.from_mont ctx) (Nat.Mont.pow_base_many ctx bm exps)
+      in
+      Array.iteri
+        (fun i e ->
+          Alcotest.check nat
+            (Printf.sprintf "pow_base_many n=%d i=%d" n i)
+            (school_mod_pow ~base ~exp:e ~m)
+            got.(i))
+        exps)
+    [ 1; 2; 7; 8; 9; 32 ]
+
+let test_pow_many_vs_pow () =
+  let t = prng () in
+  let m = odd_modulus t 256 in
+  let ctx = Nat.Mont.create m in
+  let pairs =
+    Array.init 9 (fun _ -> (Nat.random_below t m, Nat.random_bits t 200))
+  in
+  let pairs_mont =
+    Array.map (fun (b, e) -> (Nat.Mont.to_mont ctx b, e)) pairs
+  in
+  let got = Array.map (Nat.Mont.from_mont ctx) (Nat.Mont.pow_many ctx pairs_mont) in
+  Array.iteri
+    (fun i (b, e) ->
+      Alcotest.check nat
+        (Printf.sprintf "pow_many i=%d" i)
+        (school_mod_pow ~base:b ~exp:e ~m)
+        got.(i))
+    pairs
+
+let test_multi_pow_vs_folded () =
+  let t = prng () in
+  let m = odd_modulus t 256 in
+  let ctx = Nat.Mont.create m in
+  (* n <= 4 exercises the Shamir combination table, larger n the
+     Pippenger bucket path. *)
+  List.iter
+    (fun n ->
+      let pairs =
+        Array.init n (fun _ -> (Nat.random_below t m, Nat.random_bits t 200))
+      in
+      let expected =
+        Array.fold_left
+          (fun acc (b, e) -> school_mod_mul acc (school_mod_pow ~base:b ~exp:e ~m) ~m)
+          (Nat.rem Nat.one m) pairs
+      in
+      let pairs_mont =
+        Array.map (fun (b, e) -> (Nat.Mont.to_mont ctx b, e)) pairs
+      in
+      let got = Nat.Mont.from_mont ctx (Nat.Mont.multi_pow ctx pairs_mont) in
+      Alcotest.check nat (Printf.sprintf "multi_pow n=%d" n) expected got)
+    [ 1; 2; 3; 4; 5; 8; 17 ]
+
+let test_multi_pow_zero_exponents () =
+  let t = prng () in
+  let m = odd_modulus t 128 in
+  let ctx = Nat.Mont.create m in
+  let pairs =
+    [| (Nat.Mont.to_mont ctx (Nat.random_below t m), Nat.zero);
+       (Nat.Mont.to_mont ctx (Nat.random_below t m), Nat.zero) |]
+  in
+  Alcotest.check nat "all-zero exponents" (Nat.rem Nat.one m)
+    (Nat.Mont.from_mont ctx (Nat.Mont.multi_pow ctx pairs))
+
+(* ------------------------------------------------------------------ *)
+(* to_bytes_be_padded                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_to_bytes_be_padded () =
+  let t = prng () in
+  for _ = 1 to 50 do
+    let v = Nat.random_bits t 150 in
+    let len = ((Nat.num_bits v + 7) / 8) + Dstress_util.Prng.int t 5 in
+    let b = Nat.to_bytes_be_padded v ~len in
+    Alcotest.(check int) "exact length" len (Bytes.length b);
+    Alcotest.check nat "value preserved" v (Nat.of_bytes_be b)
+  done;
+  Alcotest.(check string) "zero pads to zero bytes" "\x00\x00\x00"
+    (Bytes.to_string (Nat.to_bytes_be_padded Nat.zero ~len:3));
+  Alcotest.(check string) "255 left-padded" "\x00\xff"
+    (Bytes.to_string (Nat.to_bytes_be_padded (Nat.of_int 255) ~len:2))
+
+let test_to_bytes_be_padded_too_narrow () =
+  Alcotest.check_raises "too narrow"
+    (Invalid_argument "Nat.to_bytes_be_padded: value too wide") (fun () ->
+      ignore (Nat.to_bytes_be_padded (Nat.of_int 256) ~len:1))
+
+(* ------------------------------------------------------------------ *)
 (* Conversions                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -342,6 +541,49 @@ let prop_decimal_roundtrip =
   QCheck2.Test.make ~name:"nat decimal roundtrip" ~count:200 gen_nat (fun v ->
       Nat.equal v (Nat.of_decimal (Nat.to_decimal v)))
 
+let prop_kernel_mul =
+  QCheck2.Test.make ~name:"kernel mod_mul matches schoolbook" ~count:200
+    QCheck2.Gen.(pair int (int_range 2 260))
+    (fun (seed, bits) ->
+      let t = Dstress_util.Prng.of_int seed in
+      let m = odd_modulus t bits in
+      let a = Nat.random_below t m and b = Nat.random_below t m in
+      Nat.equal (Nat.mod_mul a b ~m) (school_mod_mul a b ~m))
+
+let prop_kernel_pow =
+  QCheck2.Test.make ~name:"kernel mod_pow matches schoolbook" ~count:60
+    QCheck2.Gen.(pair int (int_range 2 200))
+    (fun (seed, bits) ->
+      let t = Dstress_util.Prng.of_int seed in
+      let m = odd_modulus t bits in
+      let b = Nat.random_below t m in
+      let e = Nat.random_bits t 96 in
+      Nat.equal
+        (Nat.mod_pow ~base:b ~exp:e ~m)
+        (school_mod_pow ~base:b ~exp:e ~m))
+
+let prop_multi_pow_folded =
+  QCheck2.Test.make ~name:"multi_pow matches folded pow" ~count:40
+    QCheck2.Gen.(triple int (int_range 2 160) (int_range 1 9))
+    (fun (seed, bits, n) ->
+      let t = Dstress_util.Prng.of_int seed in
+      let m = odd_modulus t bits in
+      let ctx = Nat.Mont.create m in
+      let pairs =
+        Array.init n (fun _ -> (Nat.random_below t m, Nat.random_bits t 80))
+      in
+      let expected =
+        Array.fold_left
+          (fun acc (b, e) ->
+            school_mod_mul acc (school_mod_pow ~base:b ~exp:e ~m) ~m)
+          (Nat.rem Nat.one m) pairs
+      in
+      let pairs_mont =
+        Array.map (fun (b, e) -> (Nat.Mont.to_mont ctx b, e)) pairs
+      in
+      Nat.equal expected
+        (Nat.Mont.from_mont ctx (Nat.Mont.multi_pow ctx pairs_mont)))
+
 let prop_zint_divmod =
   QCheck2.Test.make ~name:"zint euclidean divmod" ~count:300
     QCheck2.Gen.(pair (int_range (-100000) 100000) (int_range (-1000) 1000))
@@ -362,6 +604,9 @@ let () =
         prop_distributive;
         prop_divmod_identity;
         prop_decimal_roundtrip;
+        prop_kernel_mul;
+        prop_kernel_pow;
+        prop_multi_pow_folded;
         prop_zint_divmod;
       ]
   in
@@ -399,6 +644,18 @@ let () =
           Alcotest.test_case "mul matches plain" `Quick test_mont_mul_matches_plain;
           Alcotest.test_case "pow matches plain" `Quick test_mont_pow_matches;
           Alcotest.test_case "rejects even modulus" `Quick test_mont_rejects_even;
+        ] );
+      ( "kernel-differential",
+        [
+          Alcotest.test_case "mul vs schoolbook" `Quick test_kernel_mul_vs_schoolbook;
+          Alcotest.test_case "pow vs schoolbook" `Quick test_kernel_pow_vs_schoolbook;
+          Alcotest.test_case "pow_precomp vs pow" `Quick test_precomp_vs_pow;
+          Alcotest.test_case "pow_base_many vs pow" `Quick test_pow_base_many_vs_pow;
+          Alcotest.test_case "pow_many vs pow" `Quick test_pow_many_vs_pow;
+          Alcotest.test_case "multi_pow vs folded" `Quick test_multi_pow_vs_folded;
+          Alcotest.test_case "multi_pow zero exps" `Quick test_multi_pow_zero_exponents;
+          Alcotest.test_case "to_bytes_be_padded" `Quick test_to_bytes_be_padded;
+          Alcotest.test_case "padded too narrow" `Quick test_to_bytes_be_padded_too_narrow;
         ] );
       ( "nat-conversions",
         [

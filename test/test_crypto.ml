@@ -106,7 +106,12 @@ let test_group_all_sizes () =
     [ "toy"; "medium"; "standard" ]
 
 let test_group_unknown_name () =
-  Alcotest.check_raises "unknown" (Invalid_argument "Group.by_name: unknown group nope")
+  (* The error message is generated from Group.names, so it tracks the
+     registry automatically. *)
+  Alcotest.check_raises "unknown"
+    (Invalid_argument
+       (Printf.sprintf "Group.by_name: unknown group nope (expected one of: %s)"
+          (String.concat ", " Group.names)))
     (fun () -> ignore (Group.by_name "nope"))
 
 let test_group_pow_g_matches_pow () =
@@ -265,6 +270,169 @@ let test_exp_elgamal_multi_bandwidth () =
   Alcotest.(check bool) "multi saves bandwidth" true
     (Exp_elgamal.multi_ciphertext_bytes grp 12
     < 12 * Elgamal.ciphertext_bytes grp)
+
+(* ------------------------------------------------------------------ *)
+(* Batch entry points vs their scalar loops                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The batch paths promise draw-for-draw identity with the scalar loops
+   they replace, on every registered group — the ffdhe groups take the
+   real 2048/3072-bit kernel paths, so keep their batch sizes small. *)
+let small_batch name = if String.length name >= 5 && String.sub name 0 5 = "ffdhe" then 3 else 8
+
+let test_rerandomize_many_matches_scalar () =
+  List.iter
+    (fun name ->
+      let g = Group.by_name name in
+      let t = prg ("rr-setup:" ^ name) in
+      let _, pk = Elgamal.keygen t g in
+      let n = small_batch name in
+      let cts =
+        Array.init n (fun _ ->
+            Elgamal.encrypt t g pk (Group.pow_g g (Group.random_exponent t g)))
+      in
+      let scalar =
+        let s = prg ("rr-draws:" ^ name) in
+        Array.map (fun c -> Elgamal.rerandomize s g pk c) cts
+      in
+      let batch =
+        let s = prg ("rr-draws:" ^ name) in
+        Elgamal.rerandomize_many s g pk cts
+      in
+      Array.iteri
+        (fun i c ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s ct %d identical" name i)
+            true
+            (Elgamal.ciphertext_equal scalar.(i) c))
+        batch)
+    Group.names
+
+let test_decrypt_many_matches_scalar () =
+  List.iter
+    (fun name ->
+      let g = Group.by_name name in
+      let t = prg ("dm:" ^ name) in
+      let sk, pk = Elgamal.keygen t g in
+      let n = small_batch name in
+      let msgs = Array.init n (fun _ -> Group.pow_g g (Group.random_exponent t g)) in
+      let cts = Array.map (Elgamal.encrypt t g pk) msgs in
+      let got = Elgamal.decrypt_many g sk cts in
+      Array.iteri
+        (fun i m ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s msg %d" name i)
+            true
+            (Group.elt_equal m got.(i))
+          ;
+          Alcotest.(check bool)
+            (Printf.sprintf "%s scalar agrees %d" name i)
+            true
+            (Group.elt_equal (Elgamal.decrypt g sk cts.(i)) got.(i)))
+        msgs)
+    Group.names
+
+let test_decrypt_shared_matches_scalar () =
+  (* Shared-c1 lookup decryption: one bundle to many recipients, each
+     recipient decrypted scalar vs the batched shared path. *)
+  List.iter
+    (fun name ->
+      let g = Group.by_name name in
+      let t = prg ("ds:" ^ name) in
+      let tbl = Exp_elgamal.Table.make g ~lo:(-50) ~hi:50 in
+      let n = small_batch name in
+      let keys = List.init n (fun _ -> Exp_elgamal.keygen t g) in
+      let values = List.init n (fun i -> (i * 7) - 20) in
+      let recipients = List.map2 (fun (_, pk) v -> (pk, v)) keys values in
+      let c1, c2s = Exp_elgamal.encrypt_multi t g recipients in
+      let pairs =
+        Array.of_list (List.map2 (fun (sk, _) c2 -> (sk, c2)) keys c2s)
+      in
+      let got = Exp_elgamal.decrypt_shared g tbl ~c1 pairs in
+      List.iteri
+        (fun i v ->
+          Alcotest.(check (option int))
+            (Printf.sprintf "%s shared %d" name i)
+            (Some v) got.(i);
+          let sk, _ = List.nth keys i in
+          Alcotest.(check (option int))
+            (Printf.sprintf "%s scalar agrees %d" name i)
+            (Exp_elgamal.decrypt g sk tbl
+               { Exp_elgamal.c1; c2 = List.nth c2s i })
+            got.(i))
+        values)
+    Group.names
+
+let test_encrypt_multi_batch_matches_sequential () =
+  (* Same seed, bundle order: the batched multi-recipient encryption must
+     reproduce the sequential encrypt_multi loop draw for draw — keys
+     repeat across bundles to exercise the per-key grouping. *)
+  let t = prg "emb-setup" in
+  let keys = Array.init 4 (fun _ -> Exp_elgamal.keygen t grp) in
+  let bundle spec = List.map (fun (k, v) -> (snd keys.(k), v)) spec in
+  let bundles =
+    [|
+      bundle [ (0, 3); (1, -4); (2, 10) ];
+      bundle [ (1, 7) ];
+      bundle [ (3, 0); (0, 5); (1, 2); (2, -9) ];
+      bundle [];
+      bundle [ (2, 1); (2, 1) ];
+    |]
+  in
+  let sequential =
+    let s = prg "emb-draws" in
+    Array.map (Exp_elgamal.encrypt_multi s grp) bundles
+  in
+  let batched =
+    let s = prg "emb-draws" in
+    Exp_elgamal.encrypt_multi_batch s grp bundles
+  in
+  Array.iteri
+    (fun i (c1, c2s) ->
+      let c1', c2s' = sequential.(i) in
+      Alcotest.(check bool)
+        (Printf.sprintf "bundle %d c1" i)
+        true
+        (Group.elt_equal c1 c1');
+      List.iteri
+        (fun j c2 ->
+          Alcotest.(check bool)
+            (Printf.sprintf "bundle %d c2 %d" i j)
+            true
+            (Group.elt_equal c2 (List.nth c2s' j)))
+        c2s)
+    batched
+
+let test_adjust_many_matches_adjust () =
+  let t = prg "adj" in
+  let _, pk = Exp_elgamal.keygen t grp in
+  let r = Group.random_exponent t grp in
+  let cs = Array.init 6 (fun i -> Exp_elgamal.encrypt t grp pk (i - 3)) in
+  let got = Exp_elgamal.adjust_many grp cs r in
+  Array.iteri
+    (fun i c ->
+      let e = Exp_elgamal.adjust grp cs.(i) r in
+      Alcotest.(check bool)
+        (Printf.sprintf "ct %d" i)
+        true
+        (Group.elt_equal e.Exp_elgamal.c1 c.Exp_elgamal.c1
+        && Group.elt_equal e.Exp_elgamal.c2 c.Exp_elgamal.c2))
+    got
+
+let test_schnorr_named_groups () =
+  (* Shamir-trick verification on every registered group, including the
+     RFC 7919 ones. *)
+  List.iter
+    (fun name ->
+      let g = Group.by_name name in
+      let t = prg ("schnorr:" ^ name) in
+      let sk, pk = Schnorr.keygen t g in
+      let s = Schnorr.sign t g sk ("roster:" ^ name) in
+      Alcotest.(check bool) (name ^ " verifies") true
+        (Schnorr.verify g pk ("roster:" ^ name) s);
+      Alcotest.(check bool) (name ^ " rejects") false
+        (Schnorr.verify g pk "other" s))
+    Group.names
 
 let test_table_size () =
   Alcotest.(check int) "size" 2001 (Exp_elgamal.Table.size table)
@@ -702,6 +870,15 @@ let () =
           Alcotest.test_case "table size" `Quick test_table_size;
           Alcotest.test_case "table lookup" `Quick test_table_lookup_hit_and_miss;
         ] );
+      ( "batch-vs-scalar",
+        [
+          Alcotest.test_case "rerandomize_many" `Quick test_rerandomize_many_matches_scalar;
+          Alcotest.test_case "decrypt_many" `Quick test_decrypt_many_matches_scalar;
+          Alcotest.test_case "decrypt_shared" `Quick test_decrypt_shared_matches_scalar;
+          Alcotest.test_case "encrypt_multi_batch" `Quick
+            test_encrypt_multi_batch_matches_sequential;
+          Alcotest.test_case "adjust_many" `Quick test_adjust_many_matches_adjust;
+        ] );
       ( "base-ot",
         [
           Alcotest.test_case "all bit cases" `Quick test_base_ot_all_cases;
@@ -716,6 +893,7 @@ let () =
           Alcotest.test_case "wrong key" `Quick test_schnorr_rejects_wrong_key;
           Alcotest.test_case "tampered signature" `Quick test_schnorr_rejects_tampered_signature;
           Alcotest.test_case "randomized" `Quick test_schnorr_signatures_randomized;
+          Alcotest.test_case "named groups" `Quick test_schnorr_named_groups;
         ] );
       ( "wire",
         [
