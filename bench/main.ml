@@ -41,6 +41,7 @@ let experiments : (string * string * (quick:bool -> unit -> unit)) list =
     ("transport", "distributed runtime: frame RTT, backoff, pool dispatch", Transport_bench.run);
     ("executor", "runtime: sequential vs domain-pool executor", Executor_bench.run);
     ("gmw-slice", "bitsliced GMW: scalar vs 64-wide sliced evaluation", Slice_bench.run);
+    ("preprocess", "offline/online split: preprocessed vs inline GMW", Preprocess_bench.run);
   ]
 
 let usage () =
@@ -146,6 +147,15 @@ let () =
     json;
   Option.iter
     (fun dir ->
+      (* Create the output dir rather than scattering BENCH_*.json
+         wherever the invocation cwd happens to be when it is missing. *)
+      let rec ensure d =
+        if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+          ensure (Filename.dirname d);
+          Sys.mkdir d 0o755
+        end
+      in
+      ensure dir;
       List.iter
         (fun (s : Dstress_obs.Bench_result.suite) ->
           let file = Filename.concat dir ("BENCH_" ^ s.suite ^ ".json") in

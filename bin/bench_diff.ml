@@ -15,7 +15,7 @@ let read path =
       Printf.eprintf "bench_diff: %s: %s\n" path msg;
       exit 2
 
-let run old_path new_path threshold counters_only =
+let run old_path new_path threshold counters_only write_baseline =
   if threshold <= 0.0 then begin
     Printf.eprintf "bench_diff: --threshold must be positive\n";
     exit 2
@@ -23,6 +23,26 @@ let run old_path new_path threshold counters_only =
   let old_doc = read old_path and new_doc = read new_path in
   let report = Bench_diff.compare_docs ~threshold ~counters_only old_doc new_doc in
   Format.printf "%a@." Bench_diff.pp report;
+  if write_baseline then begin
+    (* Rewrite the baseline in place from the new results, keeping its
+       scope: only the suites the baseline already tracks are taken from
+       NEW, so refreshing a one-suite BENCH_<name>.json from a full
+       bench run stays a one-suite baseline. *)
+    let tracked = List.map (fun s -> s.Bench_result.suite) old_doc.Bench_result.suites in
+    let suites =
+      List.filter
+        (fun (s : Bench_result.suite) -> List.mem s.Bench_result.suite tracked)
+        new_doc.Bench_result.suites
+    in
+    if suites = [] then begin
+      Printf.eprintf "bench_diff: --write-baseline: %s has none of %s's suites\n" new_path
+        old_path;
+      exit 2
+    end;
+    Bench_result.write_file old_path
+      { Bench_result.mode = new_doc.Bench_result.mode; suites };
+    Printf.printf "baseline %s rewritten from %s\n" old_path new_path
+  end;
   if Bench_diff.ok report then 0 else 1
 
 let old_arg =
@@ -47,10 +67,24 @@ let counters_only_arg =
           "Gate only deterministic counters; ignore wall-time and throughput \
            deltas entirely. Use when comparing runs from different machines.")
 
+let write_baseline_arg =
+  Arg.(
+    value & flag
+    & info [ "write-baseline" ]
+        ~doc:
+          "After printing the comparison, rewrite OLD.json in place from \
+           NEW.json, restricted to the suites OLD.json already tracks — one \
+           command to refresh a committed bench/baselines/BENCH_<name>.json \
+           after an intentional counter change. The exit status still \
+           reflects the comparison, so a refresh that changed counters \
+           exits 1 (rerun to confirm the new baseline is stable).")
+
 let cmd =
   let doc = "compare two dstress benchmark JSON files and flag regressions" in
   Cmd.v
     (Cmd.info "bench_diff" ~doc)
-    Term.(const run $ old_arg $ new_arg $ threshold_arg $ counters_only_arg)
+    Term.(
+      const run $ old_arg $ new_arg $ threshold_arg $ counters_only_arg
+      $ write_baseline_arg)
 
 let () = exit (Cmd.eval' cmd)

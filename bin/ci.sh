@@ -37,6 +37,12 @@ echo "== bench_diff self-compare =="
 dune exec bin/bench_diff.exe -- "$CI_TMP/bench.json" "$CI_TMP/bench.json"
 
 echo "== bench_diff counter drift vs committed baselines =="
+# To refresh a committed baseline after an intentional counter change,
+# rewrite it in place from a fresh quick run (one command, no manual
+# copying — the flag keeps the baseline's one-suite scope):
+#   dune exec bench/main.exe -- --quick --json /tmp/bench.json
+#   dune exec bin/bench_diff.exe -- --write-baseline \
+#     bench/baselines/BENCH_<name>.json /tmp/bench.json
 for baseline in bench/baselines/BENCH_*.json; do
   echo "-- $baseline"
   dune exec bin/bench_diff.exe -- --counters-only "$baseline" "$CI_TMP/bench.json"
@@ -69,6 +75,30 @@ cmp "$OBS_TMP/metrics.sequential.json" "$OBS_TMP/metrics.parallel.4.json"
 cmp "$OBS_TMP/metrics.sequential.json" "$OBS_TMP/metrics.distributed.2.json"
 dune exec test/json_check.exe -- \
   "$OBS_TMP/trace.sequential.json" "$OBS_TMP/metrics.sequential.json"
+
+# Offline/online smoke: an EN run with preprocessing (and the on-disk
+# triple cache) must be observationally identical to the inline run —
+# the tick-domain trace/metrics exports byte-compare. The third run
+# starts a fresh process against the populated cache dir, so it proves
+# the disk-reload path too (--triple-cache implies --preprocess).
+echo "== preprocess smoke (offline/online observational identity) =="
+dune exec bin/dstress.exe -- stress --core 2 --periphery 3 -i 2 \
+  --slice-width 64 --obs-level full \
+  --trace "$CI_TMP/trace.inline.json" --metrics "$CI_TMP/metrics.inline.json" \
+  > /dev/null
+dune exec bin/dstress.exe -- stress --core 2 --periphery 3 -i 2 \
+  --slice-width 64 --obs-level full --preprocess \
+  --triple-cache "$CI_TMP/triples" \
+  --trace "$CI_TMP/trace.pre.json" --metrics "$CI_TMP/metrics.pre.json" \
+  > /dev/null
+cmp "$CI_TMP/trace.inline.json" "$CI_TMP/trace.pre.json"
+cmp "$CI_TMP/metrics.inline.json" "$CI_TMP/metrics.pre.json"
+dune exec bin/dstress.exe -- stress --core 2 --periphery 3 -i 2 \
+  --slice-width 64 --obs-level full --triple-cache "$CI_TMP/triples" \
+  --trace "$CI_TMP/trace.reload.json" --metrics "$CI_TMP/metrics.reload.json" \
+  > /dev/null
+cmp "$CI_TMP/trace.inline.json" "$CI_TMP/trace.reload.json"
+cmp "$CI_TMP/metrics.inline.json" "$CI_TMP/metrics.reload.json"
 
 # Distributed smoke: the two-process transport demo (real exec'd worker
 # over a named socket), then one engine run per wire-fault kind — each

@@ -263,6 +263,26 @@ let slice_width_arg =
            selects the scalar per-vertex evaluator; results are identical \
            for every value.")
 
+let preprocess_arg =
+  Arg.(
+    value & flag
+    & info [ "preprocess" ]
+        ~doc:
+          "Run the offline phase: generate (or load from --triple-cache) each \
+           block's correlated randomness for the whole run before the timed \
+           online rounds. Outputs, traffic and tick-domain observability are \
+           identical either way; only wall-clock moves offline.")
+
+let triple_cache_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "triple-cache" ] ~docv:"DIR"
+        ~doc:
+          "Persist preprocessed correlated randomness under DIR (created on \
+           demand) so later runs — including other processes — reuse it. \
+           Implies --preprocess.")
+
 (* ------------------------------------------------------------------ *)
 (* Observability arguments                                              *)
 (* ------------------------------------------------------------------ *)
@@ -388,9 +408,10 @@ let make_network ~seed ~core ~periphery ~shock =
 
 let stress model seed grpname ot_mode k core periphery iterations epsilon shock
     reference_only fault_rate fault_crashes max_retries backoff jobs executor_spec
-    socket_dir wire_fault_rate wire_faults transport_metrics slice_width obs_level trace
-    metrics trace_wall profile =
+    socket_dir wire_fault_rate wire_faults transport_metrics slice_width preprocess
+    triple_cache obs_level trace metrics trace_wall profile =
   let grp = Group.by_name grpname in
+  let preprocess = preprocess || triple_cache <> None in
   let obs_level = effective_obs_level obs_level ~trace ~metrics ~trace_wall ~profile in
   let exec = resolve_executor ~spec:executor_spec ~jobs ~socket_dir in
   let wire = wire_plan ~exec ~seed ~iterations ~wire_fault_rate ~wire_faults in
@@ -412,6 +433,8 @@ let stress model seed grpname ot_mode k core periphery iterations epsilon shock
               Engine.executor = exec;
               ot_mode;
               slice_width;
+              preprocess;
+              triple_cache;
               obs_level }
             ~graph ~iterations ~seed ~fault_rate ~fault_crashes ~max_retries ~backoff
         in
@@ -447,6 +470,8 @@ let stress model seed grpname ot_mode k core periphery iterations epsilon shock
               Engine.executor = exec;
               ot_mode;
               slice_width;
+              preprocess;
+              triple_cache;
               obs_level }
             ~graph ~iterations ~seed ~fault_rate ~fault_crashes ~max_retries ~backoff
         in
@@ -475,8 +500,8 @@ let stress_cmd =
       $ iterations_arg $ epsilon_arg $ shock_arg $ reference_only_arg $ fault_rate_arg
       $ fault_crashes_arg $ max_retries_arg $ backoff_arg $ jobs_arg $ executor_arg
       $ socket_dir_arg $ wire_fault_rate_arg $ wire_faults_arg $ transport_metrics_arg
-      $ slice_width_arg $ obs_level_arg $ trace_arg $ metrics_arg $ trace_wall_arg
-      $ profile_arg)
+      $ slice_width_arg $ preprocess_arg $ triple_cache_arg $ obs_level_arg $ trace_arg
+      $ metrics_arg $ trace_wall_arg $ profile_arg)
 
 (* ------------------------------------------------------------------ *)
 (* project command                                                     *)

@@ -30,10 +30,14 @@ let pack_bools_to_words bits =
     bits;
   w
 
+(* Simulation columns are filled in 64-bit chunks ({!Prng.bool_words})
+   instead of one [Prng.bool] per bit; the draw order (and the generator
+   state left behind) is pinned to the historical bit-at-a-time loop by
+   Prng.bool_words' contract, so existing transcripts are unchanged. *)
 let colgen_bits g m =
   match g with
   | Sha_col prg -> Prg.bits prg m
-  | Fast_col prng -> Bitvec.init m (fun _ -> Prng.bool prng)
+  | Fast_col prng -> Bitvec.of_int64_words ~len:m (Prng.bool_words prng m)
 
 type session = {
   mode : mode;
@@ -346,3 +350,21 @@ let extend_words session meter ~width ~pairs ~choices =
   end
 
 let ots_performed session = session.index
+
+let copy_colgen = function
+  | Sha_col prg -> Sha_col (Prg.copy prg)
+  | Fast_col prng -> Fast_col (Prng.copy prng)
+
+(* Deep snapshot: the column PRGs and the OT counter are the only mutable
+   state, so copying them makes the two sessions fully independent while
+   sharing the immutable correlation string. *)
+let copy_session s =
+  {
+    mode = s.mode;
+    s = s.s;
+    s_words = s.s_words;
+    sender_cols = Array.map copy_colgen s.sender_cols;
+    recv_cols0 = Array.map copy_colgen s.recv_cols0;
+    recv_cols1 = Array.map copy_colgen s.recv_cols1;
+    index = s.index;
+  }

@@ -73,3 +73,9 @@ val extend_words :
 
 val ots_performed : session -> int
 (** Total OTs served so far (diagnostics). *)
+
+val copy_session : session -> session
+(** Independent deep snapshot: column PRGs and the OT counter are copied,
+    so extending the copy does not disturb the original. The GMW offline
+    phase uses this to hand pre-generated correlated randomness to a live
+    session without aliasing the generator's state. *)

@@ -16,6 +16,11 @@ let of_string s = create (Bytes.of_string s)
 
 let of_prng prng = create (Dstress_util.Prng.bytes prng 32)
 
+(* The key is never written after [create], and [refill] replaces the
+   buffer wholesale rather than mutating it, so both can be shared; the
+   scalar cursor fields make the copy independent. *)
+let copy t = { key = t.key; counter = t.counter; buffer = t.buffer; pos = t.pos }
+
 let next_block t =
   let ctr = Bytes.create 8 in
   for i = 0 to 7 do

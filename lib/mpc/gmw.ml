@@ -4,6 +4,11 @@ module Xfer = Dstress_crypto.Xfer
 module Ot_ext = Dstress_crypto.Ot_ext
 module Circuit = Dstress_circuit.Circuit
 
+(* Attached offline material and a cursor counting evaluations already
+   served from it. The cursor also advances on inline evaluations of the
+   matching circuit, so entry [k] always corresponds to evaluation [k]. *)
+type preload = { mat : Triple.material; mutable next : int }
+
 type session = {
   mode : Ot_ext.mode;
   grp : Dstress_crypto.Group.t;
@@ -14,6 +19,7 @@ type session = {
   mutable rounds : int;
   mutable and_gates : int;
   mutable ots : int;
+  mutable pre : preload option;
 }
 
 let create_session ?(mode = Ot_ext.Crypto) grp ~parties ~seed =
@@ -31,6 +37,7 @@ let create_session ?(mode = Ot_ext.Crypto) grp ~parties ~seed =
     rounds = 0;
     and_gates = 0;
     ots = 0;
+    pre = None;
   }
 
 let parties s = s.n
@@ -95,6 +102,131 @@ let and_round s vals pending xs ys =
   s.and_gates <- s.and_gates + m;
   s.rounds <- s.rounds + 1
 
+(* ------------------------------------------------------------------ *)
+(* Offline phase: generate / attach / consume correlated randomness     *)
+(* ------------------------------------------------------------------ *)
+
+(* Replay, on a fresh throwaway session with the same seed, exactly the
+   randomness the online evaluator consumes for [evals] evaluations of
+   [plan]: per evaluation, per AND level, per ordered pair — the lazy OT
+   setup (first evaluation only) followed by the sender's bulk mask draw.
+   Per-party PRG states are snapshotted after each evaluation so the
+   consumer can restore them and stay stream-exact. *)
+let generate_material ?mode grp ~parties ~seed ~slice_width ~evals plan =
+  if evals < 0 then invalid_arg "Gmw.generate_material: evals < 0";
+  let s = create_session ?mode grp ~parties ~seed in
+  let levels = Plan.levels plan in
+  let eval_mats =
+    Array.init evals (fun _ ->
+        let masks =
+          Array.map
+            (fun (lv : Plan.level) ->
+              let m = Array.length lv.Plan.and_dst in
+              let level_masks = Array.make (parties * parties) Bytes.empty in
+              for sender = 0 to parties - 1 do
+                for receiver = 0 to parties - 1 do
+                  if sender <> receiver then begin
+                    ignore (ot_session s ~sender ~receiver);
+                    level_masks.((sender * parties) + receiver) <-
+                      draw_mask_bytes s.prgs.(sender) m
+                  end
+                done
+              done;
+              level_masks)
+            levels
+        in
+        { Triple.masks; post_prgs = Array.map Prg.copy s.prgs })
+  in
+  {
+    Triple.digest = Plan.digest plan;
+    parties;
+    seed;
+    slice_width;
+    ot_mode = s.mode;
+    evals = eval_mats;
+    ot = s.ot;
+    setup_traffic = s.traffic;
+  }
+
+let attach_material s (mat : Triple.material) =
+  if s.rounds <> 0 || s.ots <> 0 then
+    invalid_arg "Gmw.attach_material: session has already evaluated";
+  Array.iter
+    (Array.iter (fun o ->
+         if Option.is_some o then
+           invalid_arg "Gmw.attach_material: OT sessions already established"))
+    s.ot;
+  if mat.Triple.parties <> s.n then invalid_arg "Gmw.attach_material: party count mismatch";
+  if mat.Triple.ot_mode <> s.mode then invalid_arg "Gmw.attach_material: OT mode mismatch";
+  for i = 0 to s.n - 1 do
+    for j = 0 to s.n - 1 do
+      s.ot.(i).(j) <- Option.map Ot_ext.copy_session mat.Triple.ot.(i).(j)
+    done
+  done;
+  (* Inline, base-OT setup traffic is charged lazily during the first
+     evaluation; nothing reads the matrix between attach and then, so
+     charging it here is observationally the same. *)
+  Traffic.merge_into ~dst:s.traffic mat.Triple.setup_traffic;
+  s.pre <- Some { mat; next = 0 }
+
+let material_remaining s =
+  match s.pre with
+  | None -> 0
+  | Some c -> max 0 (Array.length c.mat.Triple.evals - c.next)
+
+(* Claim this evaluation's slot in the attached material. Returns the
+   pre-drawn entry when one is left; on a digest mismatch the material is
+   dropped entirely (its PRG snapshots assume the session evaluates only
+   the matching circuit); once exhausted the cursor keeps advancing and
+   evaluation falls back to inline draws — correct automatically, because
+   the restored snapshots equal the pure-inline PRG states. *)
+let take_pre s plan =
+  match s.pre with
+  | None -> None
+  | Some c ->
+      if not (String.equal c.mat.Triple.digest (Plan.digest plan)) then begin
+        s.pre <- None;
+        None
+      end
+      else begin
+        let i = c.next in
+        c.next <- i + 1;
+        if i < Array.length c.mat.Triple.evals then Some c.mat.Triple.evals.(i) else None
+      end
+
+let restore_post s (e : Triple.eval) =
+  Array.iteri (fun p prg -> s.prgs.(p) <- Prg.copy prg) e.Triple.post_prgs
+
+(* Online counterpart of [and_round], fed from pre-drawn masks: no PRG or
+   OT invocation, yet observably identical — the IKNP receiver always
+   obtains exactly its chosen message, i.e. [mask xor (x_s land y_r)], and
+   the per-pair traffic below is [extend_bits]'s byte formula. *)
+let and_round_consume s vals pending xs ys level_masks =
+  let m = Array.length pending in
+  for p = 0 to s.n - 1 do
+    Array.iteri (fun idx w -> vals.(p).(w) <- xs.(p).(idx) && ys.(p).(idx)) pending
+  done;
+  let col = Ot_ext.kappa * ((m + 7) / 8) and row = 2 * ((m + 7) / 8) in
+  for sender = 0 to s.n - 1 do
+    for receiver = 0 to s.n - 1 do
+      if sender <> receiver then begin
+        let raw = level_masks.((sender * s.n) + receiver) in
+        Traffic.add s.traffic ~src:receiver ~dst:sender col;
+        Traffic.add s.traffic ~src:sender ~dst:receiver row;
+        Array.iteri
+          (fun idx w ->
+            let mask = Char.code (Bytes.get raw idx) land 1 = 1 in
+            let out = mask <> (xs.(sender).(idx) && ys.(receiver).(idx)) in
+            vals.(sender).(w) <- vals.(sender).(w) <> mask;
+            vals.(receiver).(w) <- vals.(receiver).(w) <> out)
+          pending;
+        s.ots <- s.ots + m
+      end
+    done
+  done;
+  s.and_gates <- s.and_gates + m;
+  s.rounds <- s.rounds + 1
+
 (* The evaluator replays a compiled plan ({!Plan}): local gates between
    AND rounds are precomputed op lists, each AND level is one batched
    communication round. The batches are identical (order and content) to
@@ -109,6 +241,7 @@ let eval s circuit ~input_shares =
         invalid_arg "Gmw.eval: input share length mismatch")
     input_shares;
   let plan = Plan.of_circuit circuit in
+  let pre = take_pre s plan in
   let vals = Array.init s.n (fun _ -> Array.make (Plan.num_wires plan) false) in
   let apply op =
     match op with
@@ -130,13 +263,16 @@ let eval s circuit ~input_shares =
         done
   in
   Array.iter apply (Plan.prologue plan);
-  Array.iter
-    (fun (lv : Plan.level) ->
+  Array.iteri
+    (fun li (lv : Plan.level) ->
       let pick ws = Array.init s.n (fun p -> Array.map (fun w -> vals.(p).(w)) ws) in
       let xs = pick lv.Plan.and_a and ys = pick lv.Plan.and_b in
-      and_round s vals lv.Plan.and_dst xs ys;
+      (match pre with
+      | Some e -> and_round_consume s vals lv.Plan.and_dst xs ys e.Triple.masks.(li)
+      | None -> and_round s vals lv.Plan.and_dst xs ys);
       Array.iter apply lv.Plan.post)
     (Plan.levels plan);
+  (match pre with Some e -> restore_post s e | None -> ());
   Array.init s.n (fun p ->
       Bitvec.init (Array.length circuit.Circuit.outputs) (fun o ->
           vals.(p).(circuit.Circuit.outputs.(o))))
@@ -166,6 +302,17 @@ let eval_sliced plan sessions input_shares =
   let slots = Array.length sessions in
   let s0 = sessions.(0) in
   let n = s0.n in
+  (* Per-slot offline material: a consuming slot takes its mask bytes from
+     the pre-drawn entry instead of its PRG (and needs no lazy OT setup —
+     attach installed the sessions); the word-level carrier batch already
+     computes every lane as the ideal chosen message, so mixed consume /
+     inline slots coexist in one batch. *)
+  let pres = Array.map (fun s -> take_pre s plan) sessions in
+  (* When every slot consumes, the word-level OT batch can be skipped
+     outright: the carrier's extension computes exactly the ideal chosen
+     message mask XOR (x_s AND y_r) per lane, which is local arithmetic
+     here, and a colgen stream nobody draws from is unobservable. *)
+  let all_consume = Array.for_all Option.is_some pres in
   let slot_mask = if slots = 64 then -1L else Int64.sub (Int64.shift_left 1L slots) 1L in
   let vals = Array.init n (fun _ -> Array.make (Plan.num_wires plan) 0L) in
   let apply op =
@@ -192,8 +339,8 @@ let eval_sliced plan sessions input_shares =
         done
   in
   Array.iter apply (Plan.prologue plan);
-  Array.iter
-    (fun (lv : Plan.level) ->
+  Array.iteri
+    (fun li (lv : Plan.level) ->
       let dst = lv.Plan.and_dst and wa = lv.Plan.and_a and wb = lv.Plan.and_b in
       let m = Array.length dst in
       (* Local terms x_p * y_p, all slots at once. *)
@@ -210,8 +357,13 @@ let eval_sliced plan sessions input_shares =
             Array.fill masks 0 m 0L;
             for sl = 0 to slots - 1 do
               let s = sessions.(sl) in
-              ignore (ot_session s ~sender ~receiver);
-              let raw = draw_mask_bytes s.prgs.(sender) m in
+              let raw =
+                match pres.(sl) with
+                | Some e -> e.Triple.masks.(li).((sender * n) + receiver)
+                | None ->
+                    ignore (ot_session s ~sender ~receiver);
+                    draw_mask_bytes s.prgs.(sender) m
+              in
               let bit = Int64.shift_left 1L sl in
               for g = 0 to m - 1 do
                 if Char.code (Bytes.get raw g) land 1 = 1 then
@@ -219,15 +371,20 @@ let eval_sliced plan sessions input_shares =
               done
             done;
             let vs = vals.(sender) and vr = vals.(receiver) in
-            let pairs =
-              Array.init m (fun g -> (masks.(g), Int64.logxor masks.(g) vs.(wa.(g))))
-            in
-            let choices = Array.init m (fun g -> vr.(wb.(g))) in
-            let carrier = ot_session s0 ~sender ~receiver in
-            (* The bulk transfer is re-attributed per slot below, so the
-               carrier's own account is a discarded scratch. *)
             let outs =
-              Ot_ext.extend_words carrier (Xfer.create ()) ~width:slots ~pairs ~choices
+              if all_consume then
+                Array.init m (fun g ->
+                    Int64.logxor masks.(g) (Int64.logand vs.(wa.(g)) vr.(wb.(g))))
+              else begin
+                let pairs =
+                  Array.init m (fun g -> (masks.(g), Int64.logxor masks.(g) vs.(wa.(g))))
+                in
+                let choices = Array.init m (fun g -> vr.(wb.(g))) in
+                let carrier = ot_session s0 ~sender ~receiver in
+                (* The bulk transfer is re-attributed per slot below, so
+                   the carrier's own account is a discarded scratch. *)
+                Ot_ext.extend_words carrier (Xfer.create ()) ~width:slots ~pairs ~choices
+              end
             in
             for g = 0 to m - 1 do
               let w = dst.(g) in
@@ -251,6 +408,9 @@ let eval_sliced plan sessions input_shares =
       done;
       Array.iter apply lv.Plan.post)
     (Plan.levels plan);
+  Array.iteri
+    (fun sl pre -> match pre with Some e -> restore_post sessions.(sl) e | None -> ())
+    pres;
   let outputs = (Plan.circuit plan).Circuit.outputs in
   Array.init slots (fun sl ->
       Array.init n (fun p ->

@@ -67,6 +67,45 @@ val eval_many :
     chunks. All sessions must agree on party count and OT mode.
     Raises [Invalid_argument] on shape mismatches. *)
 
+val generate_material :
+  ?mode:Dstress_crypto.Ot_ext.mode ->
+  Dstress_crypto.Group.t ->
+  parties:int ->
+  seed:string ->
+  slice_width:int ->
+  evals:int ->
+  Plan.t ->
+  Triple.material
+(** Offline phase: pre-draw, on a throwaway session created exactly like
+    [create_session ?mode grp ~parties ~seed], all the correlated
+    randomness that [evals] evaluations of the plan's circuit will
+    consume — the lazy per-pair OT-extension setup and every Beaver-style
+    mask bit, in the online draw order — plus per-party PRG snapshots
+    after each evaluation. The result is input-independent and can be
+    cached ({!Triple.Cache}), shipped across processes, and attached to
+    any number of fresh sessions. *)
+
+val attach_material : session -> Triple.material -> unit
+(** [attach_material s mat] installs offline material into a fresh
+    session: deep-copies of the pre-set-up OT sessions, the base-OT setup
+    traffic (charged here instead of lazily during the first evaluation —
+    indistinguishable to any caller that reads traffic after an
+    evaluation), and the mask store. Subsequent {!eval}/{!eval_many}
+    calls on the matching circuit consume one pre-drawn entry each and
+    skip every online PRG and OT invocation, remaining bit-identical —
+    output shares, traffic, counters, PRG states — to inline generation;
+    once the material is exhausted, evaluation falls back to inline draws
+    and continuity of the PRG streams keeps the equivalence exact.
+    Evaluating a {e different} circuit drops the material (the snapshots
+    would no longer line up) and continues inline.
+
+    The session must be fresh — same [parties], [seed]-compatible PRG
+    states (unevaluated), same OT [mode], no established OT sessions.
+    Raises [Invalid_argument] otherwise. *)
+
+val material_remaining : session -> int
+(** Pre-drawn evaluations not yet consumed (0 when none attached). *)
+
 val reveal : session -> Dstress_util.Bitvec.t array -> Dstress_util.Bitvec.t
 (** Open shared values by all-to-all broadcast of shares (metered). *)
 

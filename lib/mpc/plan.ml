@@ -25,6 +25,7 @@ type t = {
   prologue : op array; (* local gates computable before any AND round *)
   levels : level array; (* one entry per AND round, in round order *)
   num_wires : int;
+  digest : string; (* structural circuit hash, survives Marshal round-trips *)
 }
 
 let circuit t = t.circuit
@@ -33,8 +34,32 @@ let prologue t = t.prologue
 let levels t = t.levels
 let depth t = Array.length t.levels
 let and_count t = Array.fold_left (fun a l -> a + Array.length l.and_dst) 0 t.levels
+let digest t = t.digest
+
+(* Structural identity for preprocessed material: physical equality breaks
+   whenever a plan crosses a Marshal boundary (the distributed executor
+   ships sessions between processes), so cached triples are matched by a
+   hash of the circuit's full gate list instead. *)
+let circuit_digest (circuit : Circuit.t) =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Printf.sprintf "in%d;" circuit.Circuit.num_inputs);
+  Array.iter
+    (fun g ->
+      match g with
+      | Circuit.Input k -> Buffer.add_string b (Printf.sprintf "i%d;" k)
+      | Circuit.Const v -> Buffer.add_string b (if v then "c1;" else "c0;")
+      | Circuit.Not a -> Buffer.add_string b (Printf.sprintf "n%d;" a)
+      | Circuit.Xor (a, c) -> Buffer.add_string b (Printf.sprintf "x%d,%d;" a c)
+      | Circuit.And (a, c) -> Buffer.add_string b (Printf.sprintf "a%d,%d;" a c))
+    circuit.Circuit.gates;
+  Array.iter (fun o -> Buffer.add_string b (Printf.sprintf "o%d;" o)) circuit.Circuit.outputs;
+  Dstress_util.Hex.encode (Dstress_crypto.Sha256.digest (Buffer.to_bytes b))
+
+let compilations_counter = Atomic.make 0
+let compilations () = Atomic.get compilations_counter
 
 let compile (circuit : Circuit.t) =
+  Atomic.incr compilations_counter;
   let gates = circuit.Circuit.gates in
   let levels = Circuit.and_levels circuit in
   let depth = Circuit.and_depth circuit in
@@ -64,7 +89,7 @@ let compile (circuit : Circuit.t) =
           post = Array.of_list (List.rev local_rev.(r + 1));
         })
   in
-  { circuit; prologue; levels; num_wires = Array.length gates }
+  { circuit; prologue; levels; num_wires = Array.length gates; digest = circuit_digest circuit }
 
 (* Plans are memoized on the physical identity of the circuit: DStress
    evaluates the same update circuit once per vertex per round, and

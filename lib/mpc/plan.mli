@@ -58,3 +58,15 @@ val and_count : t -> int
 
 val prologue : t -> op array
 val levels : t -> level array
+
+val digest : t -> string
+(** Structural hash (hex SHA-256) of the plan's circuit — gate list,
+    input count and output wires. Unlike physical identity, it survives
+    Marshal round-trips, so preprocessed GMW material generated on one
+    side of a process boundary still matches the plan on the other. Two
+    structurally equal circuits share a digest. *)
+
+val compilations : unit -> int
+(** Process-wide count of {!compile} runs (including those triggered by
+    {!of_circuit} misses) — lets tests assert that memoization served a
+    repeated circuit without recompiling. *)

@@ -7,6 +7,8 @@ module Circuit = Dstress_circuit.Circuit
 module Traffic = Dstress_mpc.Traffic
 module Sharing = Dstress_mpc.Sharing
 module Gmw = Dstress_mpc.Gmw
+module Plan = Dstress_mpc.Plan
+module Triple = Dstress_mpc.Triple
 module Setup = Dstress_transfer.Setup
 module Protocol = Dstress_transfer.Protocol
 module Noise_circuit = Dstress_dp.Noise_circuit
@@ -30,6 +32,8 @@ type config = {
   executor : Executor.t;
   slice_width : int;
   obs_level : Obs.level;
+  preprocess : bool;
+  triple_cache : string option;
 }
 
 (* How much wider the escalation lookup table is than the regular one:
@@ -53,6 +57,8 @@ let default_config ?(seed = "dstress") grp ~k ~degree_bound =
     executor = Executor.of_env ();
     slice_width = 64;
     obs_level = Obs.Off;
+    preprocess = false;
+    triple_cache = None;
   }
 
 let validate_config cfg =
@@ -99,6 +105,7 @@ type report = {
   update_stats : Circuit.stats;
   obs : Obs.t;
   transport_metrics : Obs.Metrics.t option;
+  offline_metrics : Obs.Metrics.t option;
 }
 
 (* Everything a computation task mutates on its (possibly fork-local)
@@ -218,6 +225,52 @@ let run cfg p ~graph ~initial_states =
     Array.init n (fun i ->
         Block.create ~ot_mode:cfg.ot_mode ~grp:cfg.grp ~seed ~kp1 ~degree:d ~state_bits:sb
           ~message_bits:l ~vertex:i ~members:(Setup.block_of setup i))
+  in
+  (* --- Offline preprocessing ------------------------------------ *)
+  (* Pre-generate (or load from the triple cache) every block session's
+     correlated randomness for the whole run — iterations + 1 update-
+     circuit evaluations per block — and attach it, so the timed online
+     rounds consume pre-drawn material instead of running the PRG/OT
+     machinery inline. Runs sequentially on the coordinator before any
+     task batch: under the Distributed backend the material reaches the
+     workers through fork copy-on-write, and no domain has been spawned
+     yet. Metrics go to a separate wall-domain registry (never the tick-
+     domain [obs]): a run must export byte-identical traces and metrics
+     with and without preprocessing. *)
+  let offline_metrics =
+    if not cfg.preprocess then None
+    else begin
+      let m = Obs.Metrics.create () in
+      let t0 = Unix.gettimeofday () in
+      let cache = Triple.Cache.shared in
+      let g0 = Triple.Cache.generations cache in
+      let d0 = Triple.Cache.disk_loads cache in
+      let h0 = Triple.Cache.hits cache in
+      let plan = Plan.of_circuit update_c in
+      let digest = Plan.digest plan in
+      let evals = p.Vertex_program.iterations + 1 in
+      Array.iter
+        (fun b ->
+          let bseed = Block.session_seed ~seed ~vertex:b.Block.vertex in
+          let mat =
+            Triple.Cache.find_or_generate ?dir:cfg.triple_cache cache ~digest ~parties:kp1
+              ~seed:bseed ~slice_width:cfg.slice_width ~mode:cfg.ot_mode ~evals
+              ~generate:(fun ~evals ->
+                Gmw.generate_material ~mode:cfg.ot_mode cfg.grp ~parties:kp1 ~seed:bseed
+                  ~slice_width:cfg.slice_width ~evals plan)
+          in
+          Gmw.attach_material b.Block.session mat)
+        blocks;
+      Obs.Metrics.incr m ~by:n "preprocess.sessions";
+      Obs.Metrics.incr m ~by:(n * evals) "preprocess.evals";
+      Obs.Metrics.incr m ~by:(Triple.Cache.generations cache - g0)
+        "preprocess.cache.generations";
+      Obs.Metrics.incr m ~by:(Triple.Cache.disk_loads cache - d0)
+        "preprocess.cache.disk_loads";
+      Obs.Metrics.incr m ~by:(Triple.Cache.hits cache - h0) "preprocess.cache.hits";
+      Obs.Metrics.set m "preprocess.wall_s" (Unix.gettimeofday () -. t0);
+      Some m
+    end
   in
   (* --- Initialization ------------------------------------------ *)
   Phase.run_tasks exec acc Initialization
@@ -610,6 +663,7 @@ let run cfg p ~graph ~initial_states =
     update_stats = Circuit.stats update_c;
     obs;
     transport_metrics;
+    offline_metrics;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -692,6 +746,16 @@ let pp_report ppf r =
         "transport: %d frame(s), %d respawn(s), %d suspicion(s), %d fenced, %d retransmit(s)@,"
         (c "transport.frames_sent") (c "pool.respawns") (c "pool.suspicions")
         (c "transport.fenced_frames") (c "transport.retransmits")
+  | None -> ());
+  (match r.offline_metrics with
+  | Some m ->
+      let c = Obs.Metrics.counter m in
+      Format.fprintf ppf
+        "offline: %d session(s) preprocessed, %d eval(s) (%d generated, %d from disk, %d cached) in %.3f s@,"
+        (c "preprocess.sessions") (c "preprocess.evals") (c "preprocess.cache.generations")
+        (c "preprocess.cache.disk_loads")
+        (c "preprocess.cache.hits")
+        (Obs.Metrics.sum m "preprocess.wall_s")
   | None -> ());
   Format.fprintf ppf "total traffic: %.3f MB (mean %.3f MB/node)@]"
     (mb (Traffic.total r.traffic))

@@ -86,6 +86,22 @@ type config = {
           (metrics + run/round/phase spans), [Full] (adds per-task,
           per-vertex, per-transfer-attempt spans and per-node traffic
           gauges) *)
+  preprocess : bool;
+      (** run the offline phase: before the timed online rounds, generate
+          (or fetch from the triple cache) each block session's correlated
+          randomness for the whole run — [iterations + 1] update-circuit
+          evaluations per block ({!Dstress_mpc.Gmw.generate_material}) —
+          and attach it, so the online critical path consumes pre-drawn
+          material. The run's outputs, traffic, counters and tick-domain
+          observability exports are bit-identical with or without
+          preprocessing, on every executor and slice width; only
+          wall-clock shifts from the online phases to the offline one
+          (reported in [report.offline_metrics]). Default [false]. *)
+  triple_cache : string option;
+      (** directory for persisting preprocessed material across processes
+          and runs (daemon restarts, distributed worker reloads); created
+          on demand. Only consulted when [preprocess] is set. Default
+          [None] (in-memory caching only). *)
 }
 
 val default_config : ?seed:string -> Dstress_crypto.Group.t -> k:int -> degree_bound:int -> config
@@ -148,6 +164,12 @@ type report = {
           respawns, fenced frames, ...); [None] for in-process backends.
           Deliberately separate from [obs] — tick-domain exports stay
           byte-identical across executors. *)
+  offline_metrics : Dstress_obs.Obs.Metrics.t option;
+      (** wall-domain offline-phase counters when [config.preprocess] was
+          set: [preprocess.sessions] / [preprocess.evals] (work attached),
+          [preprocess.cache.generations] / [.disk_loads] / [.hits] (where
+          it came from) and the [preprocess.wall_s] gauge. Kept out of
+          [obs] for the same byte-identity reason as transport metrics. *)
 }
 
 val run :
