@@ -39,6 +39,7 @@ let experiments : (string * string * (quick:bool -> unit -> unit)) list =
        spawns domains (OCaml 5 forbids fork after Domain.spawn), so it sits
        ahead of the executor suite's domain pool. *)
     ("transport", "distributed runtime: frame RTT, backoff, pool dispatch", Transport_bench.run);
+    ("service", "daemon mode: persistent pool vs fork-per-batch dispatch", Service_bench.run);
     ("executor", "runtime: sequential vs domain-pool executor", Executor_bench.run);
     ("gmw-slice", "bitsliced GMW: scalar vs 64-wide sliced evaluation", Slice_bench.run);
     ("preprocess", "offline/online split: preprocessed vs inline GMW", Preprocess_bench.run);

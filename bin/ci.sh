@@ -114,4 +114,35 @@ for kind in disconnect stall partition; do
   dune exec test/json_check.exe -- "$CI_TMP/transport.$kind.json"
 done
 
+# Service smoke: a daemon with a persistent worker pool serves three
+# concurrent requests; each response's tick-domain trace/metrics must
+# byte-match a solo `stress` run of the same seeded config, and SIGTERM
+# must drain the daemon cleanly (exit 0). The daemon binary is invoked
+# directly (not through `dune exec`) so $! is the daemon's own pid and
+# the TERM signal reaches it, not a wrapper.
+echo "== service smoke (daemon + concurrent requests + drain) =="
+dune exec bin/dstress.exe -- stress --core 2 --periphery 3 -i 2 \
+  --slice-width 64 --obs-level full \
+  --trace "$CI_TMP/solo.trace.json" --metrics "$CI_TMP/solo.metrics.json" \
+  > /dev/null
+SVC_SOCK="$CI_TMP/dstress-ci.sock"
+_build/default/bin/dstress.exe serve --socket "$SVC_SOCK" --service-workers 2 \
+  > "$CI_TMP/serve.log" &
+SVC_PID=$!
+REQ_PIDS=""
+for i in 1 2 3; do
+  _build/default/bin/dstress.exe request --socket "$SVC_SOCK" \
+    --core 2 --periphery 3 -i 2 --slice-width 64 \
+    --trace "$CI_TMP/svc.$i.trace.json" --metrics "$CI_TMP/svc.$i.metrics.json" \
+    > /dev/null &
+  REQ_PIDS="$REQ_PIDS $!"
+done
+for pid in $REQ_PIDS; do wait "$pid"; done
+for i in 1 2 3; do
+  cmp "$CI_TMP/solo.trace.json" "$CI_TMP/svc.$i.trace.json"
+  cmp "$CI_TMP/solo.metrics.json" "$CI_TMP/svc.$i.metrics.json"
+done
+kill -TERM "$SVC_PID"
+wait "$SVC_PID"
+
 echo "CI OK"

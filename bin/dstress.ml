@@ -245,8 +245,8 @@ let export_transport_metrics path (report : Engine.report) =
    and exit distinctly rather than crash with a backtrace. *)
 let degraded_exit = 3
 
-let run_engine cfg p ~graph ~initial_states =
-  try Engine.run cfg p ~graph ~initial_states with
+let catch_degraded f =
+  try f () with
   | Distributed.Degraded d ->
       Format.eprintf "dstress: distributed run degraded: %a@." Distributed.pp_degradation d;
       exit degraded_exit
@@ -373,28 +373,23 @@ let export_obs ~trace ~metrics ~trace_wall ~profile report =
 
 (* Fault plans are drawn against the concrete graph, so this runs after
    graph construction, just before the engine starts. *)
-let faulty_config cfg ~graph ~iterations ~seed ~fault_rate ~fault_crashes ~max_retries
-    ~backoff =
+let protocol_plan ~graph ~iterations ~seed ~fault_rate ~fault_crashes =
   let rounds = iterations + 1 in
   let nodes = Graph.n graph in
-  let plan =
-    (if fault_rate > 0.0 then
-       let rates =
-         { Fault.no_faults with
-           drop = fault_rate;
-           delay = fault_rate;
-           corrupt = fault_rate;
-           miss = fault_rate;
-         }
-       in
-       Fault.random_plan ~seed ~rounds ~nodes ~edges:(Graph.edges graph) rates
-     else Fault.empty)
-    @
-    if fault_crashes > 0 then
-      Fault.random_crashes ~seed ~nodes ~rounds ~count:fault_crashes
-    else Fault.empty
-  in
-  { cfg with Engine.fault_plan = plan; max_retries; backoff }
+  (if fault_rate > 0.0 then
+     let rates =
+       { Fault.no_faults with
+         drop = fault_rate;
+         delay = fault_rate;
+         corrupt = fault_rate;
+         miss = fault_rate;
+       }
+     in
+     Fault.random_plan ~seed ~rounds ~nodes ~edges:(Graph.edges graph) rates
+   else Fault.empty)
+  @
+  if fault_crashes > 0 then Fault.random_crashes ~seed ~nodes ~rounds ~count:fault_crashes
+  else Fault.empty
 
 (* ------------------------------------------------------------------ *)
 (* stress command                                                      *)
@@ -406,6 +401,60 @@ let make_network ~seed ~core ~periphery ~shock =
   let inst = Banking.en_of_topology prng topo () in
   (Banking.shock_en prng inst topo shock, topo)
 
+let make_egj_network ~seed ~core ~periphery ~shock =
+  let prng = Prng.of_int seed in
+  let topo = Topology.core_periphery prng ~core ~periphery () in
+  let inst = Banking.egj_of_topology prng topo () in
+  (Banking.shock_egj prng inst topo shock, topo)
+
+(* Fixed-point encoding parameters are part of the protocol, not user
+   knobs: both the solo path and the daemon must agree on them for a
+   served request to reproduce a solo run bit for bit. *)
+let en_scale = 0.25
+let egj_frac = 6
+let egj_scale = 4.0
+
+(* One seeded clearing run — shared verbatim by the stress command and
+   the daemon's request handler, so a request served by `dstress serve`
+   is the same computation (same network draws, same engine config, same
+   tick-domain exports) as a solo `dstress stress` of that config.
+   Returns the report and the decoded TDS. *)
+let run_model model ~grp ~k ~epsilon ~iterations ~seed ~core ~periphery ~shock ~ot_mode
+    ~slice_width ~preprocess ~triple_cache ~executor ~obs_level ~fault_plan ~max_retries
+    ~backoff =
+  let base_cfg ~degree =
+    { (Engine.default_config grp ~k ~degree_bound:degree ~seed:(string_of_int seed)) with
+      Engine.executor;
+      ot_mode;
+      slice_width;
+      preprocess;
+      triple_cache;
+      obs_level;
+      fault_plan;
+      max_retries;
+      backoff;
+    }
+  in
+  match model with
+  | `En ->
+      let inst, _ = make_network ~seed ~core ~periphery ~shock in
+      let l = 12 and scale = en_scale in
+      let graph = En_program.graph_of_instance inst in
+      let degree = Graph.max_degree graph in
+      let p = En_program.make ~epsilon ~sensitivity:20 ~l ~degree ~iterations () in
+      let states = En_program.encode_instance inst ~graph ~l ~degree ~scale in
+      let report = Engine.run (base_cfg ~degree) p ~graph ~initial_states:states in
+      (report, En_program.decode_output ~scale report.Engine.output)
+  | `Egj ->
+      let inst, _ = make_egj_network ~seed ~core ~periphery ~shock in
+      let l = 16 and frac = egj_frac and scale = egj_scale in
+      let graph = Egj_program.graph_of_instance inst in
+      let degree = Graph.max_degree graph in
+      let p = Egj_program.make ~epsilon ~sensitivity:20 ~l ~frac ~degree ~iterations () in
+      let states = Egj_program.encode_instance inst ~graph ~l ~frac ~degree ~scale in
+      let report = Engine.run (base_cfg ~degree) p ~graph ~initial_states:states in
+      (report, Egj_program.decode_output ~scale ~frac report.Engine.output)
+
 let stress model seed grpname ot_mode k core periphery iterations epsilon shock
     reference_only fault_rate fault_crashes max_retries backoff jobs executor_spec
     socket_dir wire_fault_rate wire_faults transport_metrics slice_width preprocess
@@ -415,74 +464,41 @@ let stress model seed grpname ot_mode k core periphery iterations epsilon shock
   let obs_level = effective_obs_level obs_level ~trace ~metrics ~trace_wall ~profile in
   let exec = resolve_executor ~spec:executor_spec ~jobs ~socket_dir in
   let wire = wire_plan ~exec ~seed ~iterations ~wire_fault_rate ~wire_faults in
-  let inst, _ = make_network ~seed ~core ~periphery ~shock in
+  let finish ~graph ~tds report =
+    ignore graph;
+    Printf.printf "DStress noised TDS:   $%.2f\n" tds;
+    Format.printf "%a@." Engine.pp_report report;
+    export_obs ~trace ~metrics ~trace_wall ~profile report;
+    export_transport_metrics transport_metrics report
+  in
+  let mpc graph_of_model =
+    let graph = graph_of_model () in
+    let fault_plan =
+      protocol_plan ~graph ~iterations ~seed ~fault_rate ~fault_crashes @ wire
+    in
+    let report, tds =
+      catch_degraded (fun () ->
+          run_model model ~grp ~k ~epsilon ~iterations ~seed ~core ~periphery ~shock
+            ~ot_mode ~slice_width ~preprocess ~triple_cache ~executor:exec ~obs_level
+            ~fault_plan ~max_retries ~backoff)
+    in
+    finish ~graph ~tds report
+  in
   match model with
   | `En ->
+      let inst, _ = make_network ~seed ~core ~periphery ~shock in
       let oracle = Reference.eisenberg_noe ~iterations inst in
       Printf.printf "cleartext oracle TDS: $%.2f (converged at round %d)\n"
         oracle.Reference.en_tds oracle.Reference.en_rounds_to_converge;
-      if not reference_only then begin
-        let l = 12 and scale = 0.25 in
-        let graph = En_program.graph_of_instance inst in
-        let degree = Graph.max_degree graph in
-        let p = En_program.make ~epsilon ~sensitivity:20 ~l ~degree ~iterations () in
-        let states = En_program.encode_instance inst ~graph ~l ~degree ~scale in
-        let cfg =
-          faulty_config
-            { (Engine.default_config grp ~k ~degree_bound:degree ~seed:(string_of_int seed)) with
-              Engine.executor = exec;
-              ot_mode;
-              slice_width;
-              preprocess;
-              triple_cache;
-              obs_level }
-            ~graph ~iterations ~seed ~fault_rate ~fault_crashes ~max_retries ~backoff
-        in
-        let cfg = { cfg with Engine.fault_plan = cfg.Engine.fault_plan @ wire } in
-        let report = run_engine cfg p ~graph ~initial_states:states in
-        Printf.printf "DStress noised TDS:   $%.2f\n"
-          (En_program.decode_output ~scale report.Engine.output);
-        Format.printf "%a@." Engine.pp_report report;
-        export_obs ~trace ~metrics ~trace_wall ~profile report;
-        export_transport_metrics transport_metrics report
-      end
+      if not reference_only then mpc (fun () -> En_program.graph_of_instance inst)
   | `Egj ->
-      let prng = Prng.of_int seed in
-      let topo = Topology.core_periphery prng ~core ~periphery () in
-      let inst = Banking.egj_of_topology prng topo () in
-      let inst = Banking.shock_egj prng inst topo shock in
+      let inst, _ = make_egj_network ~seed ~core ~periphery ~shock in
       let oracle = Reference.elliott_golub_jackson ~iterations inst in
       Printf.printf "cleartext oracle TDS: $%.2f (%d failed banks, monotone: %b)\n"
         oracle.Reference.egj_tds
         (Array.fold_left (fun a f -> if f then a + 1 else a) 0 oracle.Reference.failed)
         oracle.Reference.monotone;
-      if not reference_only then begin
-        let l = 16 and frac = 6 and scale = 4.0 in
-        let graph = Egj_program.graph_of_instance inst in
-        let degree = Graph.max_degree graph in
-        let p =
-          Egj_program.make ~epsilon ~sensitivity:20 ~l ~frac ~degree ~iterations ()
-        in
-        let states = Egj_program.encode_instance inst ~graph ~l ~frac ~degree ~scale in
-        let cfg =
-          faulty_config
-            { (Engine.default_config grp ~k ~degree_bound:degree ~seed:(string_of_int seed)) with
-              Engine.executor = exec;
-              ot_mode;
-              slice_width;
-              preprocess;
-              triple_cache;
-              obs_level }
-            ~graph ~iterations ~seed ~fault_rate ~fault_crashes ~max_retries ~backoff
-        in
-        let cfg = { cfg with Engine.fault_plan = cfg.Engine.fault_plan @ wire } in
-        let report = run_engine cfg p ~graph ~initial_states:states in
-        Printf.printf "DStress noised TDS:   $%.2f\n"
-          (Egj_program.decode_output ~scale ~frac report.Engine.output);
-        Format.printf "%a@." Engine.pp_report report;
-        export_obs ~trace ~metrics ~trace_wall ~profile report;
-        export_transport_metrics transport_metrics report
-      end
+      if not reference_only then mpc (fun () -> Egj_program.graph_of_instance inst)
 
 let model_arg =
   Arg.(
@@ -692,11 +708,196 @@ let transport_cmd =
   Cmd.v (Cmd.info "transport" ~doc) Term.(const transport $ pings $ payload $ connect)
 
 (* ------------------------------------------------------------------ *)
+(* serve / request commands (daemon mode)                              *)
+(* ------------------------------------------------------------------ *)
+
+module Service = Dstress_runtime.Service
+
+let rejected_exit = 4
+
+let default_socket = Filename.concat (Filename.get_temp_dir_name ()) "dstress.sock"
+
+let parse_host_port spec =
+  match String.rindex_opt spec ':' with
+  | None -> invalid_arg (Printf.sprintf "dstress: %S is not HOST:PORT" spec)
+  | Some i -> (
+      let host = String.sub spec 0 i in
+      let port = String.sub spec (i + 1) (String.length spec - i - 1) in
+      match int_of_string_opt port with
+      | Some p when p >= 0 && p <= 0xffff && host <> "" -> (host, p)
+      | _ -> invalid_arg (Printf.sprintf "dstress: %S is not HOST:PORT" spec))
+
+(* The daemon side of run_model: rebuild the engine config from the wire
+   request and return the per-request tick-domain exports. Runs inside a
+   persistent worker, so it must never exit the process — engine
+   exceptions propagate and become a typed error frame (-> Degraded). *)
+let service_handler ~grpname ~epsilon ~shock ~triple_cache (req : Service.request) =
+  let grp = Group.by_name grpname in
+  let executor =
+    match Service.request_executor req with Ok e -> e | Error m -> failwith m
+  in
+  let model = match req.Service.workload with Service.En -> `En | Service.Egj -> `Egj in
+  let preprocess = req.Service.preprocess || triple_cache <> None in
+  let report, _tds =
+    run_model model ~grp ~k:req.Service.k ~epsilon ~iterations:req.Service.iterations
+      ~seed:req.Service.seed ~core:req.Service.core ~periphery:req.Service.periphery
+      ~shock ~ot_mode:req.Service.ot_mode ~slice_width:req.Service.slice_width
+      ~preprocess ~triple_cache ~executor ~obs_level:Obs.Full ~fault_plan:Fault.empty
+      ~max_retries:2 ~backoff:0.05
+  in
+  {
+    Service.output = report.Engine.output;
+    mpc_rounds = report.Engine.mpc_rounds;
+    mpc_and_gates = report.Engine.mpc_and_gates;
+    mpc_ots = report.Engine.mpc_ots;
+    trace = Obs.trace_json report.Engine.obs;
+    metrics = Obs.metrics_json report.Engine.obs;
+  }
+
+let serve socket listen workers queue_depth grpname epsilon shock triple_cache =
+  let listen_addr =
+    match listen with
+    | Some spec ->
+        let host, port = parse_host_port spec in
+        Service.Tcp (host, port)
+    | None -> Service.Unix_socket socket
+  in
+  let listener, addr = Service.bind_listener listen_addr in
+  let pool_opts = { Service.default_pool_opts with Service.workers; queue_depth } in
+  let handler = service_handler ~grpname ~epsilon ~shock ~triple_cache in
+  Service.serve ~pool_opts
+    ~ready:(fun ~addr ->
+      Printf.printf "dstress: serving on %s (%d persistent workers, queue depth %d)\n%!"
+        addr workers queue_depth)
+    ~handler ~listener ~addr ();
+  print_endline "dstress: drained"
+
+let serve_cmd =
+  let doc =
+    "Run a clearing daemon: a persistent worker pool (forked once, reused across \
+     requests) serving concurrent DSTRESS-REQ/1 requests over a Unix socket or TCP."
+  in
+  let socket =
+    Arg.(
+      value & opt string default_socket
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Unix socket to listen on.")
+  in
+  let listen =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "listen" ] ~docv:"HOST:PORT"
+          ~doc:"Listen on TCP instead of the Unix socket; port 0 picks an ephemeral one.")
+  in
+  let workers =
+    Arg.(
+      value & opt int 2
+      & info [ "service-workers" ] ~docv:"INT"
+          ~doc:"Persistent worker processes, forked once at startup.")
+  in
+  let queue_depth =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-depth" ] ~docv:"INT"
+          ~doc:
+            "Bound on requests queued for dispatch; submissions past it are rejected \
+             with typed backpressure.")
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc)
+    Term.(
+      const serve $ socket $ listen $ workers $ queue_depth $ group_arg $ epsilon_arg
+      $ shock_arg $ triple_cache_arg)
+
+let request socket connect model seed core periphery iterations k slice_width ot_mode
+    preprocess executor_spec timeout trace metrics =
+  let conn =
+    match connect with
+    | Some spec ->
+        let host, port = parse_host_port spec in
+        Transport.connect_tcp ~attempts:20 ~backoff:0.02 ~host ~port ()
+    | None -> Transport.connect ~attempts:20 ~backoff:0.02 ~path:socket ()
+  in
+  let req =
+    {
+      Service.workload = (match model with `En -> Service.En | `Egj -> Service.Egj);
+      core;
+      periphery;
+      iterations;
+      k;
+      seed;
+      slice_width;
+      ot_mode;
+      preprocess;
+      executor = Option.value executor_spec ~default:"";
+    }
+  in
+  let response = Fun.protect ~finally:(fun () -> Transport.close conn) (fun () ->
+      Service.call ~timeout conn req)
+  in
+  match response with
+  | Service.Completed s ->
+      let tds =
+        match model with
+        | `En -> En_program.decode_output ~scale:en_scale s.Service.output
+        | `Egj ->
+            Egj_program.decode_output ~scale:egj_scale ~frac:egj_frac s.Service.output
+      in
+      Printf.printf "DStress noised TDS:   $%.2f\n" tds;
+      Printf.printf "rounds: %d  AND gates: %d  OTs: %d\n" s.Service.mpc_rounds
+        s.Service.mpc_and_gates s.Service.mpc_ots;
+      Option.iter (fun path -> write_file path s.Service.trace) trace;
+      Option.iter (fun path -> write_file path s.Service.metrics) metrics
+  | Service.Rejected msg ->
+      Printf.eprintf "dstress: request rejected: %s\n" msg;
+      exit rejected_exit
+  | Service.Degraded msg ->
+      Printf.eprintf "dstress: request degraded: %s\n" msg;
+      exit degraded_exit
+
+let request_cmd =
+  let doc =
+    "Submit one clearing request to a running daemon and print the result. Exit \
+     status: 0 completed, 3 degraded, 4 rejected."
+  in
+  let socket =
+    Arg.(
+      value & opt string default_socket
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Daemon Unix socket.")
+  in
+  let connect =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"HOST:PORT" ~doc:"Connect over TCP instead.")
+  in
+  let timeout =
+    Arg.(
+      value & opt float 120.0
+      & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Wait this long for the response.")
+  in
+  Cmd.v
+    (Cmd.info "request" ~doc)
+    Term.(
+      const request $ socket $ connect $ model_arg $ seed_arg $ core_arg $ periphery_arg
+      $ iterations_arg $ k_arg $ slice_width_arg $ ot_arg $ preprocess_arg $ executor_arg
+      $ timeout $ trace_arg $ metrics_arg)
+
+(* ------------------------------------------------------------------ *)
 
 let main_cmd =
   let doc = "differentially private computations on distributed graphs" in
   Cmd.group
     (Cmd.info "dstress" ~version:"1.0.0" ~doc)
-    [ stress_cmd; project_cmd; privacy_cmd; baseline_cmd; scenarios_cmd; transport_cmd ]
+    [
+      stress_cmd;
+      project_cmd;
+      privacy_cmd;
+      baseline_cmd;
+      scenarios_cmd;
+      transport_cmd;
+      serve_cmd;
+      request_cmd;
+    ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,954 @@
+module Fault = Dstress_faults.Fault
+module Metrics = Dstress_obs.Obs.Metrics
+
+(* ------------------------------------------------------------------ *)
+(* DSTRESS-REQ/1 codec                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type workload = En | Egj
+
+type request = {
+  workload : workload;
+  core : int;
+  periphery : int;
+  iterations : int;
+  k : int;
+  seed : int;
+  slice_width : int;
+  ot_mode : Dstress_crypto.Ot_ext.mode;
+  preprocess : bool;
+  executor : string;
+}
+
+type summary = {
+  output : int;
+  mpc_rounds : int;
+  mpc_and_gates : int;
+  mpc_ots : int;
+  trace : string;
+  metrics : string;
+}
+
+type response = Completed of summary | Rejected of string | Degraded of string
+
+let req_magic = "DREQ"
+let rsp_magic = "DRSP"
+let req_version = 1
+let max_executor_len = 1024
+let req_fixed_bytes = 38 (* magic..slice_width + executor length prefix *)
+
+let encode_request r =
+  let elen = String.length r.executor in
+  if elen > 0xFFFF then invalid_arg "Service.encode_request: executor spec too long";
+  let b = Bytes.create (req_fixed_bytes + elen) in
+  Bytes.blit_string req_magic 0 b 0 4;
+  Bytes.set_uint8 b 4 req_version;
+  Bytes.set_uint8 b 5 (match r.workload with En -> 0 | Egj -> 1);
+  Bytes.set_uint8 b 6
+    (match r.ot_mode with Dstress_crypto.Ot_ext.Simulation -> 0 | Dstress_crypto.Ot_ext.Crypto -> 1);
+  Bytes.set_uint8 b 7 (if r.preprocess then 1 else 0);
+  Bytes.set_int64_le b 8 (Int64.of_int r.seed);
+  Bytes.set_int32_le b 16 (Int32.of_int r.core);
+  Bytes.set_int32_le b 20 (Int32.of_int r.periphery);
+  Bytes.set_int32_le b 24 (Int32.of_int r.iterations);
+  Bytes.set_int32_le b 28 (Int32.of_int r.k);
+  Bytes.set_int32_le b 32 (Int32.of_int r.slice_width);
+  Bytes.set_uint16_le b 36 elen;
+  Bytes.blit_string r.executor 0 b req_fixed_bytes elen;
+  b
+
+let decode_request b =
+  let len = Bytes.length b in
+  if len < req_fixed_bytes then Error (Printf.sprintf "truncated request: %d bytes" len)
+  else if Bytes.sub_string b 0 4 <> req_magic then Error "bad request magic"
+  else if Bytes.get_uint8 b 4 <> req_version then
+    Error (Printf.sprintf "unsupported request version %d" (Bytes.get_uint8 b 4))
+  else
+    let workload_byte = Bytes.get_uint8 b 5 in
+    let ot_byte = Bytes.get_uint8 b 6 in
+    let flags = Bytes.get_uint8 b 7 in
+    let elen = Bytes.get_uint16_le b 36 in
+    if len < req_fixed_bytes + elen then
+      Error
+        (Printf.sprintf "truncated request body: %d bytes, executor spec wants %d" len
+           (req_fixed_bytes + elen))
+    else if len > req_fixed_bytes + elen then
+      Error (Printf.sprintf "trailing bytes after request: %d" (len - req_fixed_bytes - elen))
+    else
+      match
+        ( (match workload_byte with 0 -> Some En | 1 -> Some Egj | _ -> None),
+          match ot_byte with
+          | 0 -> Some Dstress_crypto.Ot_ext.Simulation
+          | 1 -> Some Dstress_crypto.Ot_ext.Crypto
+          | _ -> None )
+      with
+      | None, _ -> Error (Printf.sprintf "unknown workload %d" workload_byte)
+      | _, None -> Error (Printf.sprintf "unknown OT mode %d" ot_byte)
+      | Some workload, Some ot_mode ->
+          Ok
+            {
+              workload;
+              core = Int32.to_int (Bytes.get_int32_le b 16);
+              periphery = Int32.to_int (Bytes.get_int32_le b 20);
+              iterations = Int32.to_int (Bytes.get_int32_le b 24);
+              k = Int32.to_int (Bytes.get_int32_le b 28);
+              seed = Int64.to_int (Bytes.get_int64_le b 8);
+              slice_width = Int32.to_int (Bytes.get_int32_le b 32);
+              ot_mode;
+              preprocess = flags land 1 <> 0;
+              executor = Bytes.sub_string b req_fixed_bytes elen;
+            }
+
+(* status byte *)
+let st_completed = 0
+let st_rejected = 1
+let st_degraded = 2
+
+let put_lstring buf s =
+  let b = Bytes.create 4 in
+  Bytes.set_int32_le b 0 (Int32.of_int (String.length s));
+  Buffer.add_bytes buf b;
+  Buffer.add_string buf s
+
+let encode_response = function
+  | Completed s ->
+      let buf = Buffer.create (64 + String.length s.trace + String.length s.metrics) in
+      Buffer.add_string buf rsp_magic;
+      Buffer.add_uint8 buf req_version;
+      Buffer.add_uint8 buf st_completed;
+      let b = Bytes.create 32 in
+      Bytes.set_int64_le b 0 (Int64.of_int s.output);
+      Bytes.set_int64_le b 8 (Int64.of_int s.mpc_rounds);
+      Bytes.set_int64_le b 16 (Int64.of_int s.mpc_and_gates);
+      Bytes.set_int64_le b 24 (Int64.of_int s.mpc_ots);
+      Buffer.add_bytes buf b;
+      put_lstring buf s.trace;
+      put_lstring buf s.metrics;
+      Buffer.to_bytes buf
+  | (Rejected msg | Degraded msg) as r ->
+      let buf = Buffer.create (10 + String.length msg) in
+      Buffer.add_string buf rsp_magic;
+      Buffer.add_uint8 buf req_version;
+      Buffer.add_uint8 buf (match r with Rejected _ -> st_rejected | _ -> st_degraded);
+      put_lstring buf msg;
+      Buffer.to_bytes buf
+
+let get_lstring b ~at ~len ~what =
+  if at + 4 > len then Error (Printf.sprintf "truncated response: no %s length" what)
+  else
+    let n = Int32.to_int (Bytes.get_int32_le b at) in
+    if n < 0 || at + 4 + n > len then
+      Error (Printf.sprintf "truncated response: %s wants %d bytes" what n)
+    else Ok (Bytes.sub_string b (at + 4) n, at + 4 + n)
+
+let decode_response b =
+  let len = Bytes.length b in
+  if len < 6 then Error (Printf.sprintf "truncated response: %d bytes" len)
+  else if Bytes.sub_string b 0 4 <> rsp_magic then Error "bad response magic"
+  else if Bytes.get_uint8 b 4 <> req_version then
+    Error (Printf.sprintf "unsupported response version %d" (Bytes.get_uint8 b 4))
+  else
+    let status = Bytes.get_uint8 b 5 in
+    if status = st_completed then
+      if len < 38 then Error "truncated response: short completed body"
+      else
+        match get_lstring b ~at:38 ~len ~what:"trace" with
+        | Error e -> Error e
+        | Ok (trace, at) -> (
+            match get_lstring b ~at ~len ~what:"metrics" with
+            | Error e -> Error e
+            | Ok (metrics, at) ->
+                if at <> len then Error "trailing bytes after response"
+                else
+                  Ok
+                    (Completed
+                       {
+                         output = Int64.to_int (Bytes.get_int64_le b 6);
+                         mpc_rounds = Int64.to_int (Bytes.get_int64_le b 14);
+                         mpc_and_gates = Int64.to_int (Bytes.get_int64_le b 22);
+                         mpc_ots = Int64.to_int (Bytes.get_int64_le b 30);
+                         trace;
+                         metrics;
+                       }))
+    else if status = st_rejected || status = st_degraded then
+      match get_lstring b ~at:6 ~len ~what:"message" with
+      | Error e -> Error e
+      | Ok (msg, at) ->
+          if at <> len then Error "trailing bytes after response"
+          else Ok (if status = st_rejected then Rejected msg else Degraded msg)
+    else Error (Printf.sprintf "unknown response status %d" status)
+
+let validate_request r =
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  if r.core < 1 then err "core must be >= 1 (got %d)" r.core
+  else if r.periphery < 1 then err "periphery must be >= 1 (got %d)" r.periphery
+  else if r.core + r.periphery > 4096 then
+    err "network too large: core + periphery = %d > 4096" (r.core + r.periphery)
+  else if r.iterations < 1 || r.iterations > 1024 then
+    err "iterations must be in [1, 1024] (got %d)" r.iterations
+  else if r.k < 1 || r.k > 64 then err "k must be in [1, 64] (got %d)" r.k
+  else if r.slice_width < 1 || r.slice_width > 64 then
+    err "slice_width must be in [1, 64] (got %d)" r.slice_width
+  else if String.length r.executor > max_executor_len then
+    err "executor spec longer than %d bytes" max_executor_len
+  else if r.executor = "" then Ok ()
+  else
+    match Executor.of_string r.executor with
+    | Ok _ -> Ok ()
+    | Error m -> err "executor spec: %s" m
+
+(* Once a worker process has spawned domains for a parallel request it
+   may never fork again (OCaml 5), so a later distributed spec quietly
+   becomes sequential — legal because results and tick-domain exports
+   are executor-invariant. Monotone, per process. *)
+let domains_tainted = ref false
+
+let request_executor r =
+  let parsed =
+    if r.executor = "" then Ok Executor.sequential else Executor.of_string r.executor
+  in
+  match parsed with
+  | Error _ as e -> e
+  | Ok (Executor.Parallel _ as e) ->
+      domains_tainted := true;
+      Ok e
+  | Ok (Executor.Distributed _) when !domains_tainted -> Ok Executor.sequential
+  | Ok e -> Ok e
+
+(* ------------------------------------------------------------------ *)
+(* Task / result frame payloads (coordinator <-> persistent worker)     *)
+(* ------------------------------------------------------------------ *)
+
+(* task: reqid, injected stall/mute seconds, disconnect flag, request *)
+let task_header_bytes = 29
+
+let task_payload ~reqid ~stall ~mute ~disconnect req_bytes =
+  let rlen = Bytes.length req_bytes in
+  let b = Bytes.create (task_header_bytes + rlen) in
+  Bytes.set_int64_le b 0 (Int64.of_int reqid);
+  Bytes.set_int64_le b 8 (Int64.bits_of_float stall);
+  Bytes.set_int64_le b 16 (Int64.bits_of_float mute);
+  Bytes.set_uint8 b 24 (if disconnect then 1 else 0);
+  Bytes.set_int32_le b 25 (Int32.of_int rlen);
+  Bytes.blit req_bytes 0 b task_header_bytes rlen;
+  b
+
+let parse_task p =
+  if Bytes.length p < task_header_bytes then None
+  else
+    let rlen = Int32.to_int (Bytes.get_int32_le p 25) in
+    if rlen < 0 || task_header_bytes + rlen > Bytes.length p then None
+    else
+      Some
+        ( Int64.to_int (Bytes.get_int64_le p 0),
+          Int64.float_of_bits (Bytes.get_int64_le p 8),
+          Int64.float_of_bits (Bytes.get_int64_le p 16),
+          Bytes.get_uint8 p 24 <> 0,
+          Bytes.sub p task_header_bytes rlen )
+
+(* result / error: reqid then the body (an encoded response / a message) *)
+let reply_payload ~reqid body =
+  let blen = Bytes.length body in
+  let b = Bytes.create (8 + blen) in
+  Bytes.set_int64_le b 0 (Int64.of_int reqid);
+  Bytes.blit body 0 b 8 blen;
+  b
+
+let parse_reply p =
+  if Bytes.length p < 8 then None
+  else Some (Int64.to_int (Bytes.get_int64_le p 0), Bytes.sub p 8 (Bytes.length p - 8))
+
+(* ------------------------------------------------------------------ *)
+(* Worker side (forked child — exits only through Unix._exit)          *)
+(* ------------------------------------------------------------------ *)
+
+let worker_loop conn ~heartbeat_interval handler =
+  (* Writes are shared between the task loop and the heartbeat thread;
+     [mu] serializes them. An injected stall or mute holds [mu] for its
+     whole duration, so the worker genuinely stops writing — heartbeats
+     included — which is what trips the coordinator's suspicion. *)
+  let mu = Mutex.create () in
+  let send ~kind ~epoch payload =
+    Mutex.lock mu;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock mu)
+      (fun () -> ignore (Transport.send conn ~kind ~epoch payload))
+  in
+  (try send ~kind:Transport.Kind.hello ~epoch:0 Bytes.empty with _ -> Unix._exit 1);
+  let (_ : Thread.t) =
+    Thread.create
+      (fun () ->
+        try
+          while true do
+            Thread.delay heartbeat_interval;
+            send ~kind:Transport.Kind.heartbeat ~epoch:0 Bytes.empty
+          done
+        with _ -> ())
+      ()
+  in
+  (try
+     while true do
+       match Transport.recv conn ~timeout:1.0 with
+       | None -> ()
+       | Some fr when fr.Transport.kind = Transport.Kind.shutdown -> Unix._exit 0
+       | Some fr when fr.Transport.kind = Transport.Kind.task -> (
+           match parse_task fr.Transport.payload with
+           | None ->
+               send ~kind:Transport.Kind.error ~epoch:fr.Transport.epoch
+                 (reply_payload ~reqid:(-1) (Bytes.of_string "malformed task frame"))
+           | Some (reqid, stall, mute, disconnect, req_bytes) ->
+               if mute > 0.0 then begin
+                 (* Injected partition: swallow the task and go silent long
+                    enough to be fenced; the coordinator re-dispatches. *)
+                 Mutex.lock mu;
+                 Thread.delay mute;
+                 Mutex.unlock mu
+               end
+               else begin
+                 if stall > 0.0 then begin
+                   Mutex.lock mu;
+                   Thread.delay stall;
+                   Mutex.unlock mu
+                 end;
+                 if disconnect then begin
+                   Transport.close conn;
+                   Unix._exit 0
+                 end;
+                 match decode_request req_bytes with
+                 | Error e ->
+                     send ~kind:Transport.Kind.error ~epoch:fr.Transport.epoch
+                       (reply_payload ~reqid (Bytes.of_string e))
+                 | Ok req -> (
+                     match handler req with
+                     | s ->
+                         send ~kind:Transport.Kind.result ~epoch:fr.Transport.epoch
+                           (reply_payload ~reqid (encode_response (Completed s)))
+                     | exception e ->
+                         (* A failed request must not take the worker down:
+                            report and stay warm for the next one. *)
+                         send ~kind:Transport.Kind.error ~epoch:fr.Transport.epoch
+                           (reply_payload ~reqid (Bytes.of_string (Printexc.to_string e))))
+               end)
+       | Some _ -> ()
+     done
+   with _ -> Unix._exit 1);
+  Unix._exit 0
+
+(* ------------------------------------------------------------------ *)
+(* Persistent pool (coordinator side)                                  *)
+(* ------------------------------------------------------------------ *)
+
+type pool_opts = {
+  workers : int;
+  queue_depth : int;
+  heartbeat_interval : float;
+  phi : float;
+  io_deadline : float;
+  poll_interval : float;
+  request_deadline : float;
+  max_respawns_per_slot : int;
+  max_attempts_per_request : int;
+}
+
+let default_pool_opts =
+  {
+    workers = 2;
+    queue_depth = 64;
+    heartbeat_interval = 0.05;
+    phi = 8.0;
+    io_deadline = 10.0;
+    poll_interval = 0.02;
+    request_deadline = 120.0;
+    max_respawns_per_slot = 2;
+    max_attempts_per_request = 3;
+  }
+
+type entry = {
+  id : int;
+  req : request;
+  reply : response -> unit;
+  mutable attempts : int;  (** dispatches so far *)
+}
+
+type slot = {
+  sid : int;
+  mutable pid : int;
+  mutable conn : Transport.t;
+  mutable epoch : int;
+  mutable det : Failure_detector.t;
+  mutable running : entry option;
+  mutable dispatched_at : float;
+  mutable alive : bool;
+  mutable abandoned : bool;
+  mutable respawns : int;
+}
+
+type pool = {
+  po : pool_opts;
+  handler : request -> summary;
+  m : Metrics.t;
+  fork_fds : unit -> Unix.file_descr list;
+  mutable slots : slot array;
+  queue : entry Queue.t;
+  mutable next_id : int;
+  mutable next_epoch : int;
+  mutable dispatched : int;  (** dispatch counter — the fault plans' "batch" *)
+  mutable fenced : (Transport.t * int) list;
+  mutable pids : int list;  (** every child ever forked, for reaping *)
+  mutable fault_source :
+    (request_index:int -> worker:int -> Fault.fault list) option;
+  mutable closed : bool;
+}
+
+let now () = Unix.gettimeofday ()
+let close_quietly fdesc = try Unix.close fdesc with Unix.Unix_error _ -> ()
+
+let has_partition = List.exists (function Fault.Partition_worker _ -> true | _ -> false)
+let has_disconnect = List.exists (function Fault.Disconnect_worker _ -> true | _ -> false)
+
+let find_stall =
+  List.find_map (function Fault.Stall_worker { seconds; _ } -> Some seconds | _ -> None)
+
+let pool_metrics p = p.m
+let set_pool_fault_source p src = p.fault_source <- Some src
+let pool_fds p =
+  Array.to_list p.slots
+  |> List.filter_map (fun s -> if s.alive then Some (Transport.fd s.conn) else None)
+
+let pool_idle p =
+  Queue.is_empty p.queue && Array.for_all (fun s -> s.running = None) p.slots
+
+(* Fork one persistent worker under a fresh epoch. [extra_close] lists
+   every coordinator-side descriptor the child inherits but must not
+   keep open: sibling worker sockets, fenced stragglers, and whatever
+   the embedding server reports (listener + client connections) — a
+   leaked fd would mask an EOF elsewhere. *)
+let spawn p ~extra_close =
+  let o = p.po in
+  let epoch = p.next_epoch in
+  p.next_epoch <- epoch + 1;
+  flush stdout;
+  flush stderr;
+  let cfd, wfd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.fork () with
+  | 0 ->
+      close_quietly cfd;
+      List.iter close_quietly extra_close;
+      let conn =
+        Transport.of_fd ~read_deadline:o.io_deadline ~write_deadline:o.io_deadline wfd
+      in
+      worker_loop conn ~heartbeat_interval:o.heartbeat_interval p.handler
+  | pid ->
+      Unix.close wfd;
+      let conn =
+        Transport.of_fd ~metrics:p.m ~read_deadline:o.io_deadline
+          ~write_deadline:o.io_deadline cfd
+      in
+      p.pids <- pid :: p.pids;
+      (pid, conn, epoch)
+
+let fresh_detector o =
+  let det = Failure_detector.create ~phi:o.phi ~expected_interval:o.heartbeat_interval () in
+  Failure_detector.start det ~now:(now ());
+  det
+
+let open_coordinator_fds p =
+  pool_fds p @ List.map (fun (c, _) -> Transport.fd c) p.fenced
+
+let create_pool ?(opts = default_pool_opts) ?(fork_fds = fun () -> []) ~handler () =
+  if opts.workers < 1 then invalid_arg "Service.create_pool: workers < 1";
+  if opts.queue_depth < 1 then invalid_arg "Service.create_pool: queue_depth < 1";
+  if not (opts.heartbeat_interval > 0.0) then
+    invalid_arg "Service.create_pool: heartbeat_interval <= 0";
+  if not (opts.phi > 1.0) then invalid_arg "Service.create_pool: phi <= 1";
+  if
+    not
+      (opts.io_deadline > 0.0 && opts.poll_interval > 0.0 && opts.request_deadline > 0.0)
+  then invalid_arg "Service.create_pool: non-positive deadline";
+  if opts.max_respawns_per_slot < 0 || opts.max_attempts_per_request < 1 then
+    invalid_arg "Service.create_pool: bad budget";
+  (* Writes to a worker that died race its EOF; without this the EPIPE
+     becomes a fatal SIGPIPE instead of a typed [Closed] error. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let p =
+    {
+      po = opts;
+      handler;
+      m = Metrics.create ();
+      fork_fds;
+      slots = [||];
+      queue = Queue.create ();
+      next_id = 0;
+      next_epoch = 0;
+      dispatched = 0;
+      fenced = [];
+      pids = [];
+      fault_source = None;
+      closed = false;
+    }
+  in
+  let created = ref [] in
+  p.slots <-
+    Array.init opts.workers (fun sid ->
+        let pid, conn, epoch = spawn p ~extra_close:(!created @ fork_fds ()) in
+        created := Transport.fd conn :: !created;
+        {
+          sid;
+          pid;
+          conn;
+          epoch;
+          det = fresh_detector opts;
+          running = None;
+          dispatched_at = 0.0;
+          alive = true;
+          abandoned = false;
+          respawns = 0;
+        });
+  p
+
+let submit p req reply =
+  if p.closed then invalid_arg "Service.submit: pool is shut down";
+  if Array.for_all (fun s -> s.abandoned) p.slots then `No_workers
+  else if Queue.length p.queue >= p.po.queue_depth then begin
+    Metrics.incr p.m "service.requests_rejected";
+    `Queue_full
+  end
+  else begin
+    let e = { id = p.next_id; req; reply; attempts = 0 } in
+    p.next_id <- p.next_id + 1;
+    Queue.add e p.queue;
+    Metrics.incr p.m "service.requests_enqueued";
+    `Queued
+  end
+
+let finish p e resp =
+  (match resp with
+  | Completed _ -> Metrics.incr p.m "service.requests_completed"
+  | Degraded _ -> Metrics.incr p.m "service.requests_degraded"
+  | Rejected _ -> Metrics.incr p.m "service.requests_rejected");
+  e.reply resp
+
+(* A redispatch burns one attempt; past the budget the request degrades
+   with a typed outcome instead of cycling through respawns forever. *)
+let redispatch p e reason =
+  if e.attempts >= p.po.max_attempts_per_request then
+    finish p e
+      (Degraded
+         (Printf.sprintf "request failed after %d attempt(s): %s" e.attempts reason))
+  else begin
+    Metrics.incr p.m "service.redispatches";
+    Queue.add e p.queue
+  end
+
+let fail_all_queued p reason =
+  Queue.iter (fun e -> finish p e (Degraded reason)) p.queue;
+  Queue.clear p.queue
+
+let respawn p s =
+  s.respawns <- s.respawns + 1;
+  Metrics.incr p.m "pool.respawns";
+  if s.respawns > p.po.max_respawns_per_slot then begin
+    s.abandoned <- true;
+    Metrics.incr p.m "pool.slots_abandoned";
+    if Array.for_all (fun s -> s.abandoned) p.slots then
+      fail_all_queued p "no live workers remain"
+  end
+  else begin
+    let pid, conn, epoch =
+      spawn p ~extra_close:(open_coordinator_fds p @ p.fork_fds ())
+    in
+    s.pid <- pid;
+    s.conn <- conn;
+    s.epoch <- epoch;
+    s.det <- fresh_detector p.po;
+    s.alive <- true
+  end
+
+(* Fenced retirement keeps the dead slot's socket readable so a
+   straggler's late reply is observed (and dropped by epoch) instead of
+   lingering in a kernel buffer; the entry is re-queued under a fresh
+   attempt, and the slot respawns under a fresh epoch. *)
+let on_dead ?(fence = false) p s metric reason =
+  Metrics.incr p.m metric;
+  if fence then p.fenced <- (s.conn, s.epoch) :: p.fenced else Transport.close s.conn;
+  s.alive <- false;
+  (match s.running with
+  | Some e ->
+      s.running <- None;
+      redispatch p e reason
+  | None -> ());
+  respawn p s
+
+let dispatch_ready p =
+  Array.iter
+    (fun s ->
+      if s.alive && (not s.abandoned) && s.running = None && not (Queue.is_empty p.queue)
+      then begin
+        let e = Queue.pop p.queue in
+        let idx = p.dispatched in
+        p.dispatched <- idx + 1;
+        e.attempts <- e.attempts + 1;
+        let faults =
+          match p.fault_source with
+          | None -> []
+          | Some src ->
+              List.filter
+                (fun fl -> Fault.is_wire (Fault.kind_of fl))
+                (src ~request_index:idx ~worker:s.sid)
+        in
+        let stall = Option.value (find_stall faults) ~default:0.0 in
+        (* Long enough that the heartbeat detector fences the mute worker
+           even when the request deadline is generous. *)
+        let mute =
+          if has_partition faults then (3.0 *. p.po.phi *. p.po.heartbeat_interval) +. 0.5
+          else 0.0
+        in
+        let disconnect = has_disconnect faults in
+        s.running <- Some e;
+        s.dispatched_at <- now ();
+        match
+          Transport.send s.conn ~kind:Transport.Kind.task ~epoch:s.epoch
+            (task_payload ~reqid:e.id ~stall ~mute ~disconnect (encode_request e.req))
+        with
+        | _ -> Metrics.incr p.m "service.requests_dispatched"
+        | exception Transport.Error _ ->
+            on_dead p s "pool.worker_disconnects" "worker connection died at dispatch"
+      end)
+    p.slots
+
+let apply_reply p ~slot ~epoch ~is_error payload =
+  match parse_reply payload with
+  | None -> Metrics.incr p.m "transport.fenced_frames"
+  | Some (reqid, body) -> (
+      let current =
+        match slot with
+        | Some s -> (
+            s.epoch = epoch && match s.running with Some e -> e.id = reqid | None -> false)
+        | None -> false
+      in
+      if not current then Metrics.incr p.m "transport.fenced_frames"
+      else
+        match slot with
+        | None -> ()
+        | Some s -> (
+            let e = Option.get s.running in
+            s.running <- None;
+            if is_error then begin
+              (* A worker-side failure is deterministic — retrying on
+                 another worker would fail identically. Degrade. *)
+              Metrics.incr p.m "pool.task_errors";
+              finish p e (Degraded ("request failed on worker: " ^ Bytes.to_string body))
+            end
+            else
+              match decode_response body with
+              | Ok resp -> finish p e resp
+              | Error msg ->
+                  Metrics.incr p.m "pool.task_errors";
+                  finish p e (Degraded ("undecodable worker response: " ^ msg))))
+
+let drain_slot p s =
+  let continue_ = ref true in
+  while !continue_ && s.alive do
+    (* Poll, never wait: the caller's select already proved readability,
+       and a blocking drain would tax every reply with a full timeout
+       spent discovering the stream is empty. *)
+    match Transport.recv s.conn ~timeout:0.0 with
+    | None -> continue_ := false
+    | Some fr ->
+        Failure_detector.observe s.det ~now:(now ());
+        let k = fr.Transport.kind in
+        if k = Transport.Kind.result then
+          apply_reply p ~slot:(Some s) ~epoch:fr.Transport.epoch ~is_error:false
+            fr.Transport.payload
+        else if k = Transport.Kind.error then
+          apply_reply p ~slot:(Some s) ~epoch:fr.Transport.epoch ~is_error:true
+            fr.Transport.payload
+    | exception Transport.Error (Transport.Closed _) ->
+        continue_ := false;
+        on_dead p s "pool.worker_disconnects" "worker connection closed"
+    | exception Transport.Error (Transport.Integrity _) ->
+        continue_ := false;
+        on_dead p s "pool.integrity_failures" "worker stream integrity failure"
+    | exception Transport.Error (Transport.Timeout _) ->
+        continue_ := false;
+        on_dead p s "pool.io_timeouts" "worker io timeout"
+  done
+
+(* Returns [true] to keep the fenced connection alive. *)
+let drain_fenced p (c, epoch) =
+  try
+    let continue_ = ref true in
+    while !continue_ do
+      match Transport.recv c ~timeout:0.0 with
+      | None -> continue_ := false
+      | Some fr ->
+          let k = fr.Transport.kind in
+          if k = Transport.Kind.result || k = Transport.Kind.error then
+            apply_reply p ~slot:None ~epoch ~is_error:(k = Transport.Kind.error)
+              fr.Transport.payload
+    done;
+    true
+  with Transport.Error _ ->
+    Transport.close c;
+    false
+
+let reap_exited p =
+  p.pids <-
+    List.filter
+      (fun pid ->
+        match Unix.waitpid [ Unix.WNOHANG ] pid with
+        | 0, _ -> true
+        | _ -> false
+        | exception Unix.Unix_error _ -> false)
+      p.pids
+
+let pool_step p ~timeout =
+  if p.closed then invalid_arg "Service.pool_step: pool is shut down";
+  dispatch_ready p;
+  let fds = open_coordinator_fds p in
+  let readable =
+    if fds = [] then []
+    else
+      match Unix.select fds [] [] timeout with
+      | r, _, _ -> r
+      | exception Unix.Unix_error (EINTR, _, _) -> []
+  in
+  if readable <> [] then begin
+    Array.iter
+      (fun s -> if s.alive && List.mem (Transport.fd s.conn) readable then drain_slot p s)
+      p.slots;
+    p.fenced <-
+      List.filter
+        (fun ((c, _) as entry) ->
+          if List.mem (Transport.fd c) readable then drain_fenced p entry else true)
+        p.fenced
+  end;
+  (* Heartbeat suspicion and the per-attempt deadline both retire the
+     slot's epoch — a wedged or muted worker can never hang a request. *)
+  Array.iter
+    (fun s ->
+      if s.alive then
+        if Failure_detector.suspected s.det ~now:(now ()) then
+          on_dead ~fence:true p s "pool.suspicions" "worker suspected by heartbeat detector"
+        else if
+          s.running <> None && now () -. s.dispatched_at > p.po.request_deadline
+        then on_dead ~fence:true p s "pool.request_timeouts" "request deadline expired")
+    p.slots;
+  (* Re-queued work should not wait for the caller's next turn. *)
+  dispatch_ready p;
+  reap_exited p
+
+let shutdown_pool ?(drain_deadline = 30.0) p =
+  if not p.closed then begin
+    let deadline = now () +. drain_deadline in
+    (try
+       while (not (pool_idle p)) && now () < deadline do
+         pool_step p ~timeout:(min p.po.poll_interval (max 0.0 (deadline -. now ())))
+       done
+     with _ -> ());
+    (* Anything still unfinished gets a typed outcome, never silence. *)
+    Array.iter
+      (fun s ->
+        match s.running with
+        | Some e ->
+            s.running <- None;
+            finish p e (Degraded "daemon shutting down before the request finished")
+        | None -> ())
+      p.slots;
+    fail_all_queued p "daemon shutting down before the request finished";
+    p.closed <- true;
+    Array.iter
+      (fun s ->
+        if s.alive then begin
+          (try
+             ignore
+               (Transport.send s.conn ~kind:Transport.Kind.shutdown ~epoch:s.epoch
+                  Bytes.empty)
+           with _ -> ());
+          Transport.close s.conn
+        end)
+      p.slots;
+    List.iter (fun (c, _) -> Transport.close c) p.fenced;
+    p.fenced <- [];
+    let grace = now () +. 2.0 in
+    let rec reap remaining =
+      match remaining with
+      | [] -> ()
+      | _ when now () > grace ->
+          List.iter
+            (fun pid ->
+              (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+              try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+            remaining
+      | _ ->
+          let still =
+            List.filter
+              (fun pid ->
+                match Unix.waitpid [ Unix.WNOHANG ] pid with
+                | 0, _ -> true
+                | _ -> false
+                | exception Unix.Unix_error _ -> false)
+              remaining
+          in
+          if still <> [] then Unix.sleepf 0.01;
+          reap still
+    in
+    reap p.pids;
+    p.pids <- []
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Server                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type listen_addr = Unix_socket of string | Tcp of string * int
+
+let bind_listener = function
+  | Unix_socket path -> (Transport.listen ~path, path)
+  | Tcp (host, port) ->
+      let lfd, bound = Transport.listen_tcp ~host ~port () in
+      (lfd, Printf.sprintf "%s:%d" host bound)
+
+type client = {
+  cconn : Transport.t;
+  mutable inflight : bool;
+  mutable dead : bool;
+}
+
+let serve ?(pool_opts = default_pool_opts) ?(ready = fun ~addr:_ -> ())
+    ?(stop = fun () -> false) ~handler ~listener ~addr () =
+  let clients : client list ref = ref [] in
+  let listener_open = ref true in
+  (* The respawn path forks mid-service: children must drop the listener
+     and every client connection they inherit. *)
+  let fork_fds () =
+    (if !listener_open then [ listener ] else [])
+    @ List.filter_map (fun c -> if c.dead then None else Some (Transport.fd c.cconn)) !clients
+  in
+  (* Workers fork here — before any Domain.spawn in this process. *)
+  let pool = create_pool ~opts:pool_opts ~fork_fds ~handler () in
+  let draining = ref false in
+  let install signal =
+    match Sys.signal signal (Sys.Signal_handle (fun _ -> draining := true)) with
+    | old -> Some (signal, old)
+    | exception (Invalid_argument _ | Sys_error _) -> None
+  in
+  let saved = List.filter_map install [ Sys.sigterm; Sys.sigint ] in
+  let restore () =
+    List.iter (fun (signal, old) -> try Sys.set_signal signal old with _ -> ()) saved
+  in
+  let reply_to c resp =
+    if not c.dead then
+      match
+        Transport.send c.cconn ~kind:Transport.Kind.response ~epoch:0
+          (encode_response resp)
+      with
+      | _ -> ()
+      | exception Transport.Error _ ->
+          c.dead <- true;
+          Transport.close c.cconn
+  in
+  let handle_request c payload =
+    if c.inflight then
+      reply_to c (Rejected "one request per connection at a time")
+    else if !draining then reply_to c (Rejected "daemon is draining")
+    else
+      match decode_request payload with
+      | Error e -> reply_to c (Rejected ("malformed request: " ^ e))
+      | Ok req -> (
+          match validate_request req with
+          | Error e -> reply_to c (Rejected ("invalid request: " ^ e))
+          | Ok () -> (
+              let on_done resp =
+                c.inflight <- false;
+                reply_to c resp
+              in
+              match submit pool req on_done with
+              | `Queued -> c.inflight <- true
+              | `Queue_full ->
+                  reply_to c
+                    (Rejected
+                       (Printf.sprintf "queue full (depth %d)" pool_opts.queue_depth))
+              | `No_workers -> reply_to c (Rejected "no live workers remain")))
+  in
+  let drain_client c =
+    let continue_ = ref true in
+    while !continue_ && not c.dead do
+      match Transport.recv c.cconn ~timeout:0.0 with
+      | None -> continue_ := false
+      | Some fr when fr.Transport.kind = Transport.Kind.request ->
+          handle_request c fr.Transport.payload
+      | Some _ -> ()
+      | exception Transport.Error _ ->
+          continue_ := false;
+          c.dead <- true;
+          Transport.close c.cconn
+    done
+  in
+  ready ~addr;
+  Fun.protect ~finally:restore (fun () ->
+      let finished () = !draining && pool_idle pool in
+      while not (finished ()) do
+        if stop () then draining := true;
+        if !draining && !listener_open then begin
+          listener_open := false;
+          close_quietly listener
+        end;
+        let client_fds =
+          List.filter_map (fun c -> if c.dead then None else Some (Transport.fd c.cconn)) !clients
+        in
+        let fds =
+          (if !listener_open then [ listener ] else [])
+          @ client_fds @ pool_fds pool
+        in
+        let readable =
+          if fds = [] then []
+          else
+            match Unix.select fds [] [] pool.po.poll_interval with
+            | r, _, _ -> r
+            | exception Unix.Unix_error (EINTR, _, _) -> []
+        in
+        if !listener_open && List.mem listener readable then begin
+          match Unix.accept listener with
+          | fdesc, _ ->
+              (try Unix.setsockopt fdesc Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+              let cconn =
+                Transport.of_fd ~metrics:(pool_metrics pool)
+                  ~read_deadline:pool.po.io_deadline ~write_deadline:pool.po.io_deadline
+                  fdesc
+              in
+              clients := { cconn; inflight = false; dead = false } :: !clients
+          | exception Unix.Unix_error _ -> ()
+        end;
+        List.iter
+          (fun c ->
+            if (not c.dead) && List.mem (Transport.fd c.cconn) readable then drain_client c)
+          !clients;
+        clients := List.filter (fun c -> not c.dead) !clients;
+        pool_step pool ~timeout:0.0
+      done;
+      List.iter (fun c -> if not c.dead then Transport.close c.cconn) !clients;
+      clients := [];
+      shutdown_pool pool;
+      if !listener_open then begin
+        listener_open := false;
+        close_quietly listener
+      end)
+
+let call ?(timeout = 120.0) conn req =
+  ignore (Transport.send conn ~kind:Transport.Kind.request ~epoch:0 (encode_request req));
+  let deadline = now () +. timeout in
+  let rec await () =
+    let remaining = deadline -. now () in
+    if remaining <= 0.0 then
+      raise (Transport.Error (Transport.Timeout "service call: no response"))
+    else
+      match Transport.recv conn ~timeout:remaining with
+      | None -> await ()
+      | Some fr when fr.Transport.kind = Transport.Kind.response -> (
+          match decode_response fr.Transport.payload with
+          | Ok resp -> resp
+          | Error e -> raise (Transport.Error (Transport.Integrity ("service call: " ^ e))))
+      | Some _ -> await ()
+  in
+  await ()

@@ -79,39 +79,116 @@ let listen ~path =
   Unix.listen fdesc 16;
   fdesc
 
-let accept ?metrics ?read_deadline ?write_deadline ?retain ~deadline lfd =
-  match Unix.select [ lfd ] [] [] deadline with
-  | [], _, _ -> raise (Error (Timeout "accept"))
-  | _ ->
-      let fdesc, _ = Unix.accept lfd in
-      of_fd ?metrics ?read_deadline ?write_deadline ?retain fdesc
+let close_quietly fdesc = try Unix.close fdesc with Unix.Unix_error _ -> ()
 
-let connect ?(metrics = Metrics.create ()) ?read_deadline ?write_deadline ?retain
-    ?(attempts = 8) ?(backoff = 0.01) ?(jitter_seed = 0) ~path () =
+(* Nagle batches our small frames behind earlier unacked data; every
+   framed message here is a complete request/response, so latency wins. *)
+let set_nodelay_if_inet fdesc =
+  match Unix.getsockname fdesc with
+  | Unix.ADDR_INET _ -> ( try Unix.setsockopt fdesc Unix.TCP_NODELAY true with Unix.Unix_error _ -> ())
+  | _ | (exception Unix.Unix_error _) -> ()
+
+let resolve_inet host =
+  match Unix.inet_addr_of_string host with
+  | addr -> addr
+  | exception Failure _ -> (
+      match Unix.gethostbyname host with
+      | { Unix.h_addr_list; _ } when Array.length h_addr_list > 0 -> h_addr_list.(0)
+      | _ | (exception Not_found) ->
+          raise (Error (Closed (Printf.sprintf "resolve %s: unknown host" host))))
+
+let listen_tcp ?(backlog = 16) ~host ~port () =
+  let addr = resolve_inet host in
+  let fdesc = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt fdesc Unix.SO_REUSEADDR true;
+     Unix.bind fdesc (Unix.ADDR_INET (addr, port));
+     Unix.listen fdesc backlog
+   with e ->
+     close_quietly fdesc;
+     raise e);
+  let bound =
+    match Unix.getsockname fdesc with Unix.ADDR_INET (_, p) -> p | _ -> port
+  in
+  (fdesc, bound)
+
+(* A signal (e.g. a daemon's SIGTERM drain handler) interrupts select
+   with EINTR; treat it as an empty readiness set and let the caller's
+   deadline arithmetic decide whether to keep waiting. *)
+let select_r fds timeout =
+  match Unix.select fds [] [] timeout with
+  | r, _, _ -> r
+  | exception Unix.Unix_error (EINTR, _, _) -> []
+
+let select_w fds timeout =
+  match Unix.select [] fds [] timeout with
+  | _, w, _ -> w
+  | exception Unix.Unix_error (EINTR, _, _) -> []
+
+let accept ?metrics ?read_deadline ?write_deadline ?retain ~deadline lfd =
+  let until = Unix.gettimeofday () +. deadline in
+  let rec wait () =
+    let remaining = until -. Unix.gettimeofday () in
+    if remaining <= 0.0 then raise (Error (Timeout "accept"));
+    match select_r [ lfd ] remaining with [] -> wait () | _ -> ()
+  in
+  wait ();
+  let fdesc, _ = Unix.accept lfd in
+  set_nodelay_if_inet fdesc;
+  of_fd ?metrics ?read_deadline ?write_deadline ?retain fdesc
+
+(* One bounded-retry connect loop for both address families; only the
+   socket domain, target address and the set of transient errnos differ.
+   Jittered exponential backoff: base * 2^i * (0.5 + u). *)
+let connect_retry ~metrics ?read_deadline ?write_deadline ?retain ~attempts ~backoff
+    ~jitter_seed ~domain ~addr ~transient ~describe () =
   let prng = Prng.create (Int64.of_int (Hashtbl.hash ("transport-jitter", jitter_seed))) in
   let rec go i =
     Metrics.incr metrics "transport.connect_attempts";
-    let fdesc = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-    match Unix.connect fdesc (Unix.ADDR_UNIX path) with
+    let fdesc = Unix.socket domain Unix.SOCK_STREAM 0 in
+    match Unix.connect fdesc addr with
     | () ->
         if i > 0 then Metrics.incr metrics "transport.reconnects";
+        set_nodelay_if_inet fdesc;
         of_fd ~metrics ?read_deadline ?write_deadline ?retain fdesc
-    | exception Unix.Unix_error ((ECONNREFUSED | ENOENT | EAGAIN | EINTR), _, _) ->
-        (try Unix.close fdesc with Unix.Unix_error _ -> ());
+    | exception Unix.Unix_error (e, _, _) when transient e ->
+        close_quietly fdesc;
         Metrics.incr metrics "transport.connect_failures";
         if i + 1 >= attempts then
-          raise (Error (Timeout (Printf.sprintf "connect %s: %d attempts" path attempts)));
-        (* Jittered exponential backoff: base * 2^i * (0.5 + u). *)
+          raise (Error (Timeout (Printf.sprintf "connect %s: %d attempts" describe attempts)));
         let sleep = backoff *. (2.0 ** float_of_int i) *. (0.5 +. Prng.float prng) in
         Metrics.incr metrics "transport.backoff_sleeps";
         Metrics.add metrics "transport.backoff_sleep_s" sleep;
         Unix.sleepf sleep;
         go (i + 1)
     | exception Unix.Unix_error (e, _, _) ->
-        (try Unix.close fdesc with Unix.Unix_error _ -> ());
-        raise (Error (Closed (Printf.sprintf "connect %s: %s" path (Unix.error_message e))))
+        close_quietly fdesc;
+        raise (Error (Closed (Printf.sprintf "connect %s: %s" describe (Unix.error_message e))))
   in
   go 0
+
+let connect ?(metrics = Metrics.create ()) ?read_deadline ?write_deadline ?retain
+    ?(attempts = 8) ?(backoff = 0.01) ?(jitter_seed = 0) ~path () =
+  connect_retry ~metrics ?read_deadline ?write_deadline ?retain ~attempts ~backoff
+    ~jitter_seed ~domain:Unix.PF_UNIX ~addr:(Unix.ADDR_UNIX path)
+    ~transient:(function
+      | Unix.ECONNREFUSED | Unix.ENOENT | Unix.EAGAIN | Unix.EINTR -> true
+      | _ -> false)
+    ~describe:path ()
+
+let connect_tcp ?(metrics = Metrics.create ()) ?read_deadline ?write_deadline ?retain
+    ?(attempts = 8) ?(backoff = 0.01) ?(jitter_seed = 0) ~host ~port () =
+  let addr = resolve_inet host in
+  connect_retry ~metrics ?read_deadline ?write_deadline ?retain ~attempts ~backoff
+    ~jitter_seed ~domain:Unix.PF_INET
+    ~addr:(Unix.ADDR_INET (addr, port))
+    ~transient:(function
+      | Unix.ECONNREFUSED | Unix.ETIMEDOUT | Unix.EHOSTUNREACH | Unix.ENETUNREACH
+      | Unix.EAGAIN | Unix.EINTR ->
+          true
+      | _ -> false)
+    ~describe:(Printf.sprintf "%s:%d" host port)
+    ()
 
 (* ------------------------------------------------------------------ *)
 (* Deadline-bounded exact reads and writes on a non-blocking socket     *)
@@ -127,10 +204,8 @@ let read_exact t buf len ~deadline ~what =
       Metrics.incr t.m "transport.timeouts";
       raise (Error (Timeout what))
     end;
-    match Unix.select [ t.fdesc ] [] [] remaining with
-    | [], _, _ ->
-        Metrics.incr t.m "transport.timeouts";
-        raise (Error (Timeout what))
+    match select_r [ t.fdesc ] remaining with
+    | [] -> ()
     | _ -> (
         match Unix.read t.fdesc buf !got (len - !got) with
         | 0 -> raise (Error (Closed (what ^ ": EOF")))
@@ -150,10 +225,8 @@ let write_all t buf ~what =
       Metrics.incr t.m "transport.timeouts";
       raise (Error (Timeout what))
     end;
-    match Unix.select [] [ t.fdesc ] [] remaining with
-    | _, [], _ ->
-        Metrics.incr t.m "transport.timeouts";
-        raise (Error (Timeout what))
+    match select_w [ t.fdesc ] remaining with
+    | [] -> ()
     | _ -> (
         match Unix.write t.fdesc buf !sent (len - !sent) with
         | n -> sent := !sent + n
@@ -214,8 +287,8 @@ let send t ~kind ~epoch payload =
    caller bounds the wait; once the header starts arriving the per-frame
    read deadline takes over. *)
 let read_frame t ~first_timeout =
-  match Unix.select [ t.fdesc ] [] [] first_timeout with
-  | [], _, _ -> None
+  match select_r [ t.fdesc ] first_timeout with
+  | [] -> None
   | _ ->
       let hdr = Bytes.create header_bytes in
       let deadline = now () +. t.read_deadline in
@@ -318,6 +391,8 @@ module Kind = struct
   let shutdown = 6
   let ping = 7
   let echo = 8
+  let request = 9
+  let response = 10
 
   let name = function
     | 0 -> "ack"
@@ -329,5 +404,7 @@ module Kind = struct
     | 6 -> "shutdown"
     | 7 -> "ping"
     | 8 -> "echo"
+    | 9 -> "request"
+    | 10 -> "response"
     | k -> "kind:" ^ string_of_int k
 end

@@ -81,6 +81,13 @@ val pair :
 val listen : path:string -> Unix.file_descr
 (** Bind and listen on a named Unix socket, unlinking a stale file first. *)
 
+val listen_tcp : ?backlog:int -> host:string -> port:int -> unit -> Unix.file_descr * int
+(** Bind and listen on a TCP address ([SO_REUSEADDR] set, backlog default
+    16). [host] is a dotted quad or resolvable name; [port] 0 asks the
+    kernel for an ephemeral port. Returns the listening descriptor and
+    the actually bound port. The descriptor feeds the same {!accept} as
+    the Unix-socket listener — deadline semantics are identical. *)
+
 val accept :
   ?metrics:Dstress_obs.Obs.Metrics.t ->
   ?read_deadline:float ->
@@ -89,7 +96,9 @@ val accept :
   deadline:float ->
   Unix.file_descr ->
   t
-(** Accept one connection within [deadline] seconds. *)
+(** Accept one connection within [deadline] seconds — address-family
+    agnostic (Unix-socket and TCP listeners alike; an accepted TCP
+    connection gets [TCP_NODELAY]). *)
 
 val connect :
   ?metrics:Dstress_obs.Obs.Metrics.t ->
@@ -108,6 +117,24 @@ val connect :
     [jitter_seed], so two workers hammering the same coordinator desync).
     Default [backoff] 10 ms. Exhausted attempts raise [Error (Timeout _)].
     Sleeps are recorded under [transport.backoff_sleep_s]. *)
+
+val connect_tcp :
+  ?metrics:Dstress_obs.Obs.Metrics.t ->
+  ?read_deadline:float ->
+  ?write_deadline:float ->
+  ?retain:bool ->
+  ?attempts:int ->
+  ?backoff:float ->
+  ?jitter_seed:int ->
+  host:string ->
+  port:int ->
+  unit ->
+  t
+(** {!connect} over TCP: the same bounded jittered-exponential-backoff
+    retry loop and the same [transport.connect_*] / [transport.backoff_*]
+    counters, with the transient-errno set widened to the TCP ones
+    ([ECONNREFUSED], [ETIMEDOUT], [EHOSTUNREACH], [ENETUNREACH]).
+    [TCP_NODELAY] is set on the connected socket. *)
 
 val set_fault_hook : t -> (kind:int -> seq:int64 -> action) -> unit
 (** Installed hook is consulted before every frame write. *)
@@ -160,5 +187,12 @@ module Kind : sig
   val shutdown : int
   val ping : int
   val echo : int
+
+  val request : int
+  (** a [DSTRESS-REQ/1] clearing request (client -> daemon, see {!Service}) *)
+
+  val response : int
+  (** a [DSTRESS-REQ/1] response (daemon -> client) *)
+
   val name : int -> string
 end

@@ -187,6 +187,80 @@ let test_named_socket_reconnect_replay () =
   Unix.close lfd;
   (try Unix.unlink path with Unix.Unix_error _ -> ())
 
+let contains_substring ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* TCP listener/connector: same frames, same deadline semantics        *)
+(* ------------------------------------------------------------------ *)
+
+let test_tcp_roundtrip () =
+  let m = Metrics.create () in
+  let lfd, port = Transport.listen_tcp ~host:"127.0.0.1" ~port:0 () in
+  Alcotest.(check bool) "ephemeral port assigned" true (port > 0);
+  let client = Transport.connect_tcp ~metrics:m ~host:"127.0.0.1" ~port () in
+  let server = Transport.accept ~deadline:2.0 lfd in
+  ignore (Transport.send client ~kind:Transport.Kind.request ~epoch:5 (Bytes.of_string "over tcp"));
+  (match Transport.recv server ~timeout:2.0 with
+  | Some fr ->
+      Alcotest.(check int) "kind" Transport.Kind.request fr.Transport.kind;
+      Alcotest.(check int) "epoch" 5 fr.Transport.epoch;
+      Alcotest.(check string) "payload survives CRC" "over tcp"
+        (Bytes.to_string fr.Transport.payload)
+  | None -> Alcotest.fail "frame did not arrive over TCP");
+  ignore (Transport.send server ~kind:Transport.Kind.response ~epoch:5 (Bytes.of_string "back"));
+  (match Transport.recv client ~timeout:2.0 with
+  | Some fr -> Alcotest.(check string) "reply" "back" (Bytes.to_string fr.Transport.payload)
+  | None -> Alcotest.fail "reply did not arrive over TCP");
+  (* Both ends of the loopback connection got TCP_NODELAY. *)
+  Alcotest.(check bool) "client nodelay" true
+    (Unix.getsockopt (Transport.fd client) Unix.TCP_NODELAY);
+  Alcotest.(check bool) "server nodelay" true
+    (Unix.getsockopt (Transport.fd server) Unix.TCP_NODELAY);
+  Alcotest.(check int) "one connect attempt" 1 (Metrics.counter m "transport.connect_attempts");
+  Transport.close client;
+  Transport.close server;
+  Unix.close lfd
+
+let test_tcp_accept_deadline () =
+  (* A listener nobody connects to: accept must expire at its deadline —
+     the exact behavior the daemon's select loop leans on — not hang. *)
+  let lfd, _port = Transport.listen_tcp ~host:"127.0.0.1" ~port:0 () in
+  let t0 = Unix.gettimeofday () in
+  (match Transport.accept ~deadline:0.1 lfd with
+  | exception Transport.Error (Transport.Timeout what) ->
+      Alcotest.(check string) "typed accept timeout" "accept" what
+  | _ -> Alcotest.fail "accept with no client must raise Timeout");
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool) "deadline respected" true (elapsed >= 0.09 && elapsed < 1.0);
+  Unix.close lfd
+
+let test_tcp_connect_backoff_bounded () =
+  (* Bind then close to get a port that actively refuses connections;
+     the retry loop must pay the same bounded, counted backoff as the
+     Unix-socket connector. *)
+  let lfd, port = Transport.listen_tcp ~host:"127.0.0.1" ~port:0 () in
+  Unix.close lfd;
+  let m = Metrics.create () in
+  let t0 = Unix.gettimeofday () in
+  (match Transport.connect_tcp ~metrics:m ~attempts:3 ~backoff:0.005 ~host:"127.0.0.1" ~port () with
+  | exception Transport.Error (Transport.Timeout _) -> ()
+  | _ -> Alcotest.fail "connect to a closed port must raise Timeout");
+  Alcotest.(check bool) "bounded retry returns promptly" true
+    (Unix.gettimeofday () -. t0 < 2.0);
+  Alcotest.(check int) "three attempts" 3 (Metrics.counter m "transport.connect_attempts");
+  Alcotest.(check int) "two backoff sleeps" 2 (Metrics.counter m "transport.backoff_sleeps");
+  Alcotest.(check bool) "sleep time recorded" true
+    (Metrics.sum m "transport.backoff_sleep_s" > 0.0);
+  (* Unknown host is not transient: typed Closed, no retry burn. *)
+  match Transport.connect_tcp ~host:"no-such-host-dstress.invalid" ~port:1 () with
+  | exception Transport.Error (Transport.Closed msg) ->
+      Alcotest.(check bool) "names the host" true
+        (contains_substring ~sub:"no-such-host-dstress.invalid" msg)
+  | _ -> Alcotest.fail "unresolvable host must raise Closed"
+
 (* ------------------------------------------------------------------ *)
 (* Failure detector (injected clock — no sleeps)                       *)
 (* ------------------------------------------------------------------ *)
@@ -259,11 +333,6 @@ let test_pool_map_matches_sequential () =
     (Metrics.counter (Distributed.metrics ctx) "pool.tasks_dispatched" >= 31);
   (* Empty batches don't fork anything. *)
   Alcotest.(check bool) "empty map" true (Distributed.map ctx 0 f = [||])
-
-let contains_substring ~sub s =
-  let n = String.length s and m = String.length sub in
-  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
-  go 0
 
 let test_pool_task_exception_is_typed () =
   let ctx = Distributed.create ~opts:{ quick_opts with Distributed.workers = 2 } () in
@@ -525,6 +594,12 @@ let () =
           Alcotest.test_case "connect backoff bounded" `Quick test_connect_backoff_bounded;
           Alcotest.test_case "fault hook stall/sever" `Quick test_fault_hook_stall_and_sever;
           Alcotest.test_case "reconnect replay" `Quick test_named_socket_reconnect_replay;
+        ] );
+      ( "tcp",
+        [
+          Alcotest.test_case "loopback round-trip" `Quick test_tcp_roundtrip;
+          Alcotest.test_case "accept deadline expiry" `Quick test_tcp_accept_deadline;
+          Alcotest.test_case "connect backoff bounded" `Quick test_tcp_connect_backoff_bounded;
         ] );
       ( "failure detector",
         [
