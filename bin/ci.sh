@@ -127,7 +127,7 @@ dune exec bin/dstress.exe -- stress --core 2 --periphery 3 -i 2 \
   > /dev/null
 SVC_SOCK="$CI_TMP/dstress-ci.sock"
 _build/default/bin/dstress.exe serve --socket "$SVC_SOCK" --service-workers 2 \
-  > "$CI_TMP/serve.log" &
+  --log-level debug > "$CI_TMP/serve.log" 2> "$CI_TMP/serve.err" &
 SVC_PID=$!
 REQ_PIDS=""
 for i in 1 2 3; do
@@ -142,6 +142,20 @@ for i in 1 2 3; do
   cmp "$CI_TMP/solo.trace.json" "$CI_TMP/svc.$i.trace.json"
   cmp "$CI_TMP/solo.metrics.json" "$CI_TMP/svc.$i.metrics.json"
 done
+# Telemetry scrape mid-run: the Stats admin request must answer on the
+# same socket, its JSON document must validate, and the Prometheus text
+# must report exactly the three requests just served. The structured
+# log on stderr must carry their trace IDs end to end.
+echo "== stats scrape =="
+_build/default/bin/dstress.exe stats --socket "$SVC_SOCK" \
+  --json "$CI_TMP/stats.json" > "$CI_TMP/stats.prom"
+dune exec test/json_check.exe -- "$CI_TMP/stats.json"
+grep -q '^dstress_service_requests_enqueued 3$' "$CI_TMP/stats.prom"
+grep -q '^dstress_service_requests_completed 3$' "$CI_TMP/stats.prom"
+grep -q '^dstress_service_request_s_count 3$' "$CI_TMP/stats.prom"
+grep '^dstress_service_request_s{quantile="0.99"} ' "$CI_TMP/stats.prom" | grep -qv ' 0$'
+grep -q '^dstress_worker_up{worker="0"' "$CI_TMP/stats.prom"
+grep -q 'trace=3 msg="request finished"' "$CI_TMP/serve.err"
 kill -TERM "$SVC_PID"
 wait "$SVC_PID"
 

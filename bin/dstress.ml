@@ -712,6 +712,7 @@ let transport_cmd =
 (* ------------------------------------------------------------------ *)
 
 module Service = Dstress_runtime.Service
+module Log = Dstress_obs.Log
 
 let rejected_exit = 4
 
@@ -754,7 +755,8 @@ let service_handler ~grpname ~epsilon ~shock ~triple_cache (req : Service.reques
     metrics = Obs.metrics_json report.Engine.obs;
   }
 
-let serve socket listen workers queue_depth grpname epsilon shock triple_cache =
+let serve socket listen workers queue_depth log_level slow_request grpname epsilon shock
+    triple_cache =
   let listen_addr =
     match listen with
     | Some spec ->
@@ -763,9 +765,20 @@ let serve socket listen workers queue_depth grpname epsilon shock triple_cache =
     | None -> Service.Unix_socket socket
   in
   let listener, addr = Service.bind_listener listen_addr in
-  let pool_opts = { Service.default_pool_opts with Service.workers; queue_depth } in
+  let pool_opts =
+    { Service.default_pool_opts with
+      Service.workers;
+      queue_depth;
+      slow_request_s = slow_request;
+    }
+  in
+  let log =
+    match log_level with
+    | None -> Log.nop
+    | Some level -> Log.create ~level ~capacity:256 ~sink:Log.stderr_sink ()
+  in
   let handler = service_handler ~grpname ~epsilon ~shock ~triple_cache in
-  Service.serve ~pool_opts
+  Service.serve ~pool_opts ~log
     ~ready:(fun ~addr ->
       Printf.printf "dstress: serving on %s (%d persistent workers, queue depth %d)\n%!"
         addr workers queue_depth)
@@ -803,11 +816,37 @@ let serve_cmd =
             "Bound on requests queued for dispatch; submissions past it are rejected \
              with typed backpressure.")
   in
+  let log_level =
+    let levels =
+      ("off", None)
+      :: List.map
+           (fun l -> (Log.level_name l, Some l))
+           [ Log.Error; Log.Warn; Log.Info; Log.Debug ]
+    in
+    Arg.(
+      value
+      & opt (enum levels) (Some Log.Info)
+      & info [ "log-level" ] ~docv:"LEVEL"
+          ~doc:
+            "Structured-log threshold for the daemon's wall-domain event log \
+             (logfmt lines on stderr, last 256 kept for the stats endpoint): off, \
+             error, warn, info or debug. Tick-domain request exports are \
+             byte-identical at every level.")
+  in
+  let slow_request =
+    Arg.(
+      value
+      & opt float Service.default_pool_opts.Service.slow_request_s
+      & info [ "slow-request" ] ~docv:"SECONDS"
+          ~doc:
+            "Log a request at warn level when its end-to-end time (submit to \
+             reply) exceeds this many seconds.")
+  in
   Cmd.v
     (Cmd.info "serve" ~doc)
     Term.(
-      const serve $ socket $ listen $ workers $ queue_depth $ group_arg $ epsilon_arg
-      $ shock_arg $ triple_cache_arg)
+      const serve $ socket $ listen $ workers $ queue_depth $ log_level $ slow_request
+      $ group_arg $ epsilon_arg $ shock_arg $ triple_cache_arg)
 
 let request socket connect model seed core periphery iterations k slice_width ot_mode
     preprocess executor_spec timeout trace metrics =
@@ -884,6 +923,70 @@ let request_cmd =
       $ timeout $ trace_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
+(* stats command                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let stats socket connect timeout json =
+  (* A scrape must fail fast when no daemon is listening: 5 attempts of
+     jittered-exponential backoff stay under a second, unlike the
+     request client's patient retry (which tolerates a daemon that is
+     still starting up). *)
+  let conn =
+    try
+      match connect with
+      | Some spec ->
+          let host, port = parse_host_port spec in
+          Transport.connect_tcp ~attempts:5 ~backoff:0.02 ~host ~port ()
+      | None -> Transport.connect ~attempts:5 ~backoff:0.02 ~path:socket ()
+    with Transport.Error err ->
+      Printf.eprintf "dstress: cannot reach daemon: %s\n"
+        (Transport.error_message err);
+      exit 1
+  in
+  let st =
+    Fun.protect
+      ~finally:(fun () -> Transport.close conn)
+      (fun () -> Service.fetch_stats ~timeout conn)
+  in
+  Option.iter
+    (fun path -> write_file path (Dstress_obs.Json.to_string (Service.stats_to_json st)))
+    json;
+  print_string (Service.stats_prometheus st)
+
+let stats_cmd =
+  let doc =
+    "Scrape a running daemon's live telemetry — uptime, per-worker state, queue \
+     depth, request counters and latency quantiles — as Prometheus-style text on \
+     stdout. The stats request is answered even while the daemon is draining."
+  in
+  let socket =
+    Arg.(
+      value & opt string default_socket
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Daemon Unix socket.")
+  in
+  let connect =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"HOST:PORT" ~doc:"Connect over TCP instead.")
+  in
+  let timeout =
+    Arg.(
+      value & opt float 10.0
+      & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Wait this long for the snapshot.")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Also write the snapshot as a dstress-stats/1 JSON document to FILE.")
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc)
+    Term.(const stats $ socket $ connect $ timeout $ json)
+
+(* ------------------------------------------------------------------ *)
 
 let main_cmd =
   let doc = "differentially private computations on distributed graphs" in
@@ -898,6 +1001,7 @@ let main_cmd =
       transport_cmd;
       serve_cmd;
       request_cmd;
+      stats_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -62,6 +62,7 @@ let counters_of_metrics m =
       match Obs.Metrics.find m name with
       | Some (Obs.Metrics.Counter c) -> Some (name, c)
       | Some (Obs.Metrics.Hist h) -> Some (name ^ ".count", h.count)
+      | Some (Obs.Metrics.Quantiles s) -> Some (name ^ ".count", Sketch.count s)
       | _ -> None)
     (Obs.Metrics.names m)
   |> List.sort by_name
@@ -76,6 +77,16 @@ let floats_of_metrics m =
             (name ^ ".mean", Obs.Metrics.hist_mean h);
             (name ^ ".min", h.min);
             (name ^ ".max", h.max);
+          ]
+      | Some (Obs.Metrics.Quantiles s) ->
+          let q p = Sketch.quantile_or ~default:0.0 s p in
+          [
+            (name ^ ".mean", Sketch.mean s);
+            (name ^ ".min", Sketch.min_value s);
+            (name ^ ".max", Sketch.max_value s);
+            (name ^ ".p50", q 0.5);
+            (name ^ ".p90", q 0.9);
+            (name ^ ".p99", q 0.99);
           ]
       | _ -> [])
     (Obs.Metrics.names m)

@@ -15,7 +15,12 @@ let level_of_string = function
 module Metrics = struct
   type histogram = { count : int; total : float; min : float; max : float }
 
-  type value = Counter of int | Sum of float | Gauge of float | Hist of histogram
+  type value =
+    | Counter of int
+    | Sum of float
+    | Gauge of float
+    | Hist of histogram
+    | Quantiles of Sketch.t
 
   type t = { tbl : (string, value) Hashtbl.t }
 
@@ -55,6 +60,15 @@ module Metrics = struct
              })
     | Some _ -> kind_error name
 
+  let observe_sketch ?alpha t name v =
+    match Hashtbl.find_opt t.tbl name with
+    | None ->
+        let s = Sketch.create ?alpha () in
+        Sketch.add s v;
+        Hashtbl.replace t.tbl name (Quantiles s)
+    | Some (Quantiles s) -> Sketch.add s v
+    | Some _ -> kind_error name
+
   let find t name = Hashtbl.find_opt t.tbl name
 
   let counter t name =
@@ -75,7 +89,15 @@ module Metrics = struct
     | Some (Hist h) -> Some h
     | Some _ -> kind_error name
 
+  (* Empty histograms can reach here via a [merge_into] of fresh
+     registries, so the empty case returns 0. rather than dividing. *)
   let hist_mean h = if h.count = 0 then 0.0 else h.total /. float_of_int h.count
+
+  let sketch t name =
+    match Hashtbl.find_opt t.tbl name with
+    | None -> None
+    | Some (Quantiles s) -> Some s
+    | Some _ -> kind_error name
 
   let names t = Hashtbl.fold (fun k _ acc -> k :: acc) t.tbl [] |> List.sort compare
 
@@ -99,6 +121,11 @@ module Metrics = struct
                        min = Float.min d.min h.min;
                        max = Float.max d.max h.max;
                      })
+            | Some _ -> kind_error name)
+        | Some (Quantiles s) -> (
+            match Hashtbl.find_opt dst.tbl name with
+            | None -> Hashtbl.replace dst.tbl name (Quantiles (Sketch.copy s))
+            | Some (Quantiles d) -> Sketch.merge_into ~dst:d s
             | Some _ -> kind_error name))
       (names src)
 
@@ -115,6 +142,7 @@ module Metrics = struct
             ("min", Json.Num h.min);
             ("max", Json.Num h.max);
           ]
+    | Quantiles s -> Sketch.to_json s
 
   let to_json t =
     Json.Obj
@@ -137,6 +165,17 @@ module Metrics = struct
                 Printf.sprintf "count=%d;total=%s;mean=%s;min=%s;max=%s" h.count
                   (float_csv h.total) (float_csv (hist_mean h)) (float_csv h.min)
                   (float_csv h.max) )
+          | Quantiles s ->
+              let q p = float_csv (Sketch.quantile_or ~default:0.0 s p) in
+              ( "quantiles",
+                Printf.sprintf
+                  "count=%d;total=%s;mean=%s;min=%s;max=%s;p50=%s;p90=%s;p99=%s"
+                  (Sketch.count s)
+                  (float_csv (Sketch.total s))
+                  (float_csv (Sketch.mean s))
+                  (float_csv (Sketch.min_value s))
+                  (float_csv (Sketch.max_value s))
+                  (q 0.5) (q 0.9) (q 0.99) )
         in
         Buffer.add_string buf (Printf.sprintf "%s,%s,%s\n" name kind value))
       (names t);

@@ -51,6 +51,10 @@ module Metrics : sig
     | Sum of float  (** additive float accumulator *)
     | Gauge of float  (** last-write-wins float *)
     | Hist of histogram
+    | Quantiles of Sketch.t
+        (** mergeable quantile sketch — wall-domain only; its estimates
+            depend on arrival values, so it must never enter a registry
+            that feeds the deterministic tick-domain exports *)
 
   type t
 
@@ -59,6 +63,11 @@ module Metrics : sig
   val add : t -> string -> float -> unit
   val set : t -> string -> float -> unit
   val observe : t -> string -> float -> unit
+
+  val observe_sketch : ?alpha:float -> t -> string -> float -> unit
+  (** Record into a {!Quantiles} sketch under [name], creating it (with
+      [alpha], default {!Sketch.default_alpha}) on first use. [alpha] is
+      ignored on an existing sketch. *)
 
   val find : t -> string -> value option
   val counter : t -> string -> int
@@ -73,18 +82,25 @@ module Metrics : sig
       pattern-matching {!value} internals. *)
 
   val hist_mean : histogram -> float
-  (** [total /. count]; 0. for an (impossible) empty histogram. *)
+  (** [total /. count], or [0.] when [count = 0]. Empty histograms do
+      occur — e.g. a [Hist] merged from a registry whose own source was
+      empty — so the convention is explicit rather than an error. *)
+
+  val sketch : t -> string -> Sketch.t option
+  (** [None] when absent; raises [Invalid_argument] on a non-sketch.
+      The returned sketch is live — callers must not mutate it. *)
 
   val names : t -> string list
   (** Sorted. *)
 
   val merge_into : dst:t -> t -> unit
-  (** Fold counters/sums additively, overwrite gauges, combine histograms —
-      visiting the source in sorted-name order so float accumulation is
-      deterministic. *)
+  (** Fold counters/sums additively, overwrite gauges, combine histograms
+      and quantile sketches — visiting the source in sorted-name order so
+      float accumulation is deterministic. *)
 
   val to_json : t -> Json.t
-  (** Histograms carry the derived [mean] alongside count/total/min/max. *)
+  (** Histograms carry the derived [mean] alongside count/total/min/max;
+      quantile sketches additionally carry [p50]/[p90]/[p99]. *)
 
   val to_csv : t -> string
 end
@@ -167,4 +183,5 @@ val metrics_json : t -> string
 
 val metrics_csv : t -> string
 (** [name,kind,value] rows, sorted by name; histograms flatten to
-    [count=..;total=..;min=..;max=..]. *)
+    [count=..;total=..;mean=..;min=..;max=..] and quantile sketches to
+    the same plus [p50=..;p90=..;p99=..]. *)

@@ -1,5 +1,6 @@
 module Fault = Dstress_faults.Fault
 module Metrics = Dstress_obs.Obs.Metrics
+module Log = Dstress_obs.Log
 
 type opts = {
   workers : int;
@@ -53,13 +54,14 @@ let () =
 
 type ctx = {
   o : opts;
+  log : Log.t;
   mutable m : Metrics.t;
   mutable fault_source : (batch:int -> worker:int -> Fault.fault list) option;
   mutable next_batch : int;
   mutable next_epoch : int;
 }
 
-let create ?(opts = default_opts) () =
+let create ?(opts = default_opts) ?(log = Log.nop) () =
   if opts.workers < 1 then invalid_arg "Distributed.create: workers < 1";
   if not (opts.heartbeat_interval > 0.0) then
     invalid_arg "Distributed.create: heartbeat_interval <= 0";
@@ -68,7 +70,14 @@ let create ?(opts = default_opts) () =
   then invalid_arg "Distributed.create: non-positive deadline";
   if opts.max_respawns_per_slot < 0 || opts.max_respawns_total < 0 then
     invalid_arg "Distributed.create: negative respawn budget";
-  { o = opts; m = Metrics.create (); fault_source = None; next_batch = 0; next_epoch = 0 }
+  {
+    o = opts;
+    log;
+    m = Metrics.create ();
+    fault_source = None;
+    next_batch = 0;
+    next_epoch = 0;
+  }
 
 let opts c = c.o
 let metrics c = c.m
@@ -214,9 +223,16 @@ let spawn ctx ~batch ~sid ~fresh ~extra_close f =
       | pid ->
           Unix.close wfd;
           let conn =
-            Transport.of_fd ~metrics:ctx.m ~read_deadline:o.io_deadline
+            Transport.of_fd ~metrics:ctx.m ~log:ctx.log ~read_deadline:o.io_deadline
               ~write_deadline:o.io_deadline cfd
           in
+          Log.debug ctx.log "distributed worker spawned"
+            [
+              ("batch", Log.Int batch);
+              ("worker", Log.Int sid);
+              ("pid", Log.Int pid);
+              ("epoch", Log.Int epoch);
+            ];
           (pid, conn, epoch))
   | Some dir ->
       let path =
@@ -240,7 +256,7 @@ let spawn ctx ~batch ~sid ~fresh ~extra_close f =
       | pid ->
           let conn =
             match
-              Transport.accept ~metrics:ctx.m ~read_deadline:o.io_deadline
+              Transport.accept ~metrics:ctx.m ~log:ctx.log ~read_deadline:o.io_deadline
                 ~write_deadline:o.io_deadline ~deadline:10.0 lfd
             with
             | conn -> conn
@@ -253,6 +269,13 @@ let spawn ctx ~batch ~sid ~fresh ~extra_close f =
           in
           close_quietly lfd;
           (try Unix.unlink path with Unix.Unix_error _ -> ());
+          Log.debug ctx.log "distributed worker spawned"
+            [
+              ("batch", Log.Int batch);
+              ("worker", Log.Int sid);
+              ("pid", Log.Int pid);
+              ("epoch", Log.Int epoch);
+            ];
           (pid, conn, epoch))
 
 let run_batch ctx ~batch count f =
@@ -306,6 +329,14 @@ let run_batch ctx ~batch count f =
     live @ List.map (fun (c, _) -> Transport.fd c) !fenced
   in
   let degrade reason =
+    Log.error ctx.log "distributed batch degraded"
+      [
+        ("batch", Log.Int batch);
+        ("reason", Log.Str reason);
+        ("completed", Log.Int !completed);
+        ("count", Log.Int count);
+        ("respawns", Log.Int !total_respawns);
+      ];
     raise
       (Degraded
          {
@@ -332,7 +363,9 @@ let run_batch ctx ~batch count f =
     else if s.respawns > o.max_respawns_per_slot then begin
       s.abandoned <- true;
       incr abandoned_slots;
-      Metrics.incr m "pool.slots_abandoned"
+      Metrics.incr m "pool.slots_abandoned";
+      Log.error ctx.log "distributed worker slot abandoned"
+        [ ("batch", Log.Int batch); ("worker", Log.Int s.sid) ]
     end
     else begin
       let pid, conn, epoch =
@@ -351,6 +384,15 @@ let run_batch ctx ~batch count f =
      of poisoning a reused slot. Non-fenced death closes immediately. *)
   let on_dead ?(fence = false) s metric =
     Metrics.incr m metric;
+    Log.warn ctx.log "distributed worker lost"
+      [
+        ("batch", Log.Int batch);
+        ("worker", Log.Int s.sid);
+        ("pid", Log.Int s.pid);
+        ("epoch", Log.Int s.epoch);
+        ("reason", Log.Str metric);
+        ("fenced", Log.Bool fence);
+      ];
     if fence then fenced := (s.conn, s.epoch) :: !fenced else Transport.close s.conn;
     s.alive <- false;
     requeue s;

@@ -82,9 +82,13 @@ val pp_degradation : Format.formatter -> degradation -> unit
 
 type ctx
 
-val create : ?opts:opts -> unit -> ctx
+val create : ?opts:opts -> ?log:Dstress_obs.Log.t -> unit -> ctx
 (** Raises [Invalid_argument] if [workers < 1] or an interval/deadline
-    is not positive. *)
+    is not positive. [log] (default {!Dstress_obs.Log.nop}) receives
+    wall-domain pool lifecycle events — spawns at [Debug], lost workers
+    at [Warn], abandonment/degradation at [Error] — and is threaded into
+    the coordinator-side transports; it never affects tick-domain
+    exports. *)
 
 val opts : ctx -> opts
 

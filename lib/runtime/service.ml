@@ -1,5 +1,8 @@
 module Fault = Dstress_faults.Fault
 module Metrics = Dstress_obs.Obs.Metrics
+module Sketch = Dstress_obs.Sketch
+module Log = Dstress_obs.Log
+module Json = Dstress_obs.Json
 
 (* ------------------------------------------------------------------ *)
 (* DSTRESS-REQ/1 codec                                                 *)
@@ -262,17 +265,17 @@ let parse_reply p =
 (* Worker side (forked child — exits only through Unix._exit)          *)
 (* ------------------------------------------------------------------ *)
 
-let worker_loop conn ~heartbeat_interval handler =
+let worker_loop conn ~heartbeat_interval ?(log = Log.nop) handler =
   (* Writes are shared between the task loop and the heartbeat thread;
      [mu] serializes them. An injected stall or mute holds [mu] for its
      whole duration, so the worker genuinely stops writing — heartbeats
      included — which is what trips the coordinator's suspicion. *)
   let mu = Mutex.create () in
-  let send ~kind ~epoch payload =
+  let send ~kind ~epoch ?trace payload =
     Mutex.lock mu;
     Fun.protect
       ~finally:(fun () -> Mutex.unlock mu)
-      (fun () -> ignore (Transport.send conn ~kind ~epoch payload))
+      (fun () -> ignore (Transport.send conn ~kind ~epoch ?trace payload))
   in
   (try send ~kind:Transport.Kind.hello ~epoch:0 Bytes.empty with _ -> Unix._exit 1);
   let (_ : Thread.t) =
@@ -297,6 +300,9 @@ let worker_loop conn ~heartbeat_interval handler =
                send ~kind:Transport.Kind.error ~epoch:fr.Transport.epoch
                  (reply_payload ~reqid:(-1) (Bytes.of_string "malformed task frame"))
            | Some (reqid, stall, mute, disconnect, req_bytes) ->
+               let trace = fr.Transport.trace in
+               Log.debug log ~trace "worker task received"
+                 [ ("reqid", Log.Int reqid) ];
                if mute > 0.0 then begin
                  (* Injected partition: swallow the task and go silent long
                     enough to be fenced; the coordinator re-dispatches. *)
@@ -316,17 +322,26 @@ let worker_loop conn ~heartbeat_interval handler =
                  end;
                  match decode_request req_bytes with
                  | Error e ->
-                     send ~kind:Transport.Kind.error ~epoch:fr.Transport.epoch
+                     send ~kind:Transport.Kind.error ~epoch:fr.Transport.epoch ~trace
                        (reply_payload ~reqid (Bytes.of_string e))
                  | Ok req -> (
                      match handler req with
                      | s ->
+                         Log.debug log ~trace "worker task completed"
+                           [ ("reqid", Log.Int reqid) ];
                          send ~kind:Transport.Kind.result ~epoch:fr.Transport.epoch
+                           ~trace
                            (reply_payload ~reqid (encode_response (Completed s)))
                      | exception e ->
                          (* A failed request must not take the worker down:
                             report and stay warm for the next one. *)
+                         Log.warn log ~trace "worker task failed"
+                           [
+                             ("reqid", Log.Int reqid);
+                             ("error", Log.Str (Printexc.to_string e));
+                           ];
                          send ~kind:Transport.Kind.error ~epoch:fr.Transport.epoch
+                           ~trace
                            (reply_payload ~reqid (Bytes.of_string (Printexc.to_string e))))
                end)
        | Some _ -> ()
@@ -348,6 +363,7 @@ type pool_opts = {
   request_deadline : float;
   max_respawns_per_slot : int;
   max_attempts_per_request : int;
+  slow_request_s : float;
 }
 
 let default_pool_opts =
@@ -361,12 +377,15 @@ let default_pool_opts =
     request_deadline = 120.0;
     max_respawns_per_slot = 2;
     max_attempts_per_request = 3;
+    slow_request_s = 5.0;
   }
 
 type entry = {
   id : int;
   req : request;
   reply : response -> unit;
+  trace : int64;  (** trace ID stamped on every frame and log line *)
+  submitted_at : float;
   mutable attempts : int;  (** dispatches so far *)
 }
 
@@ -387,7 +406,11 @@ type pool = {
   po : pool_opts;
   handler : request -> summary;
   m : Metrics.t;
+  log : Log.t;
+  started_at : float;
   fork_fds : unit -> Unix.file_descr list;
+  mutable next_trace : int64;
+  mutable queue_high_water : int;
   mutable slots : slot array;
   queue : entry Queue.t;
   mutable next_id : int;
@@ -410,6 +433,7 @@ let find_stall =
   List.find_map (function Fault.Stall_worker { seconds; _ } -> Some seconds | _ -> None)
 
 let pool_metrics p = p.m
+let pool_log p = p.log
 let set_pool_fault_source p src = p.fault_source <- Some src
 let pool_fds p =
   Array.to_list p.slots
@@ -435,16 +459,19 @@ let spawn p ~extra_close =
       close_quietly cfd;
       List.iter close_quietly extra_close;
       let conn =
-        Transport.of_fd ~read_deadline:o.io_deadline ~write_deadline:o.io_deadline wfd
+        Transport.of_fd ~log:p.log ~read_deadline:o.io_deadline
+          ~write_deadline:o.io_deadline wfd
       in
-      worker_loop conn ~heartbeat_interval:o.heartbeat_interval p.handler
+      worker_loop conn ~heartbeat_interval:o.heartbeat_interval ~log:p.log p.handler
   | pid ->
       Unix.close wfd;
       let conn =
-        Transport.of_fd ~metrics:p.m ~read_deadline:o.io_deadline
+        Transport.of_fd ~metrics:p.m ~log:p.log ~read_deadline:o.io_deadline
           ~write_deadline:o.io_deadline cfd
       in
       p.pids <- pid :: p.pids;
+      Log.info p.log "worker spawned"
+        [ ("pid", Log.Int pid); ("epoch", Log.Int epoch) ];
       (pid, conn, epoch)
 
 let fresh_detector o =
@@ -455,7 +482,8 @@ let fresh_detector o =
 let open_coordinator_fds p =
   pool_fds p @ List.map (fun (c, _) -> Transport.fd c) p.fenced
 
-let create_pool ?(opts = default_pool_opts) ?(fork_fds = fun () -> []) ~handler () =
+let create_pool ?(opts = default_pool_opts) ?(log = Log.nop)
+    ?(fork_fds = fun () -> []) ~handler () =
   if opts.workers < 1 then invalid_arg "Service.create_pool: workers < 1";
   if opts.queue_depth < 1 then invalid_arg "Service.create_pool: queue_depth < 1";
   if not (opts.heartbeat_interval > 0.0) then
@@ -475,7 +503,11 @@ let create_pool ?(opts = default_pool_opts) ?(fork_fds = fun () -> []) ~handler 
       po = opts;
       handler;
       m = Metrics.create ();
+      log;
+      started_at = now ();
       fork_fds;
+      next_trace = 1L;
+      queue_high_water = 0;
       slots = [||];
       queue = Queue.create ();
       next_id = 0;
@@ -508,24 +540,66 @@ let create_pool ?(opts = default_pool_opts) ?(fork_fds = fun () -> []) ~handler 
 
 let submit p req reply =
   if p.closed then invalid_arg "Service.submit: pool is shut down";
-  if Array.for_all (fun s -> s.abandoned) p.slots then `No_workers
+  if Array.for_all (fun s -> s.abandoned) p.slots then begin
+    Log.error p.log "request refused: no live workers" [];
+    `No_workers
+  end
   else if Queue.length p.queue >= p.po.queue_depth then begin
     Metrics.incr p.m "service.requests_rejected";
+    Log.warn p.log "request rejected: queue full"
+      [ ("queue_depth", Log.Int (Queue.length p.queue)) ];
     `Queue_full
   end
   else begin
-    let e = { id = p.next_id; req; reply; attempts = 0 } in
+    let trace = p.next_trace in
+    p.next_trace <- Int64.add trace 1L;
+    let e =
+      { id = p.next_id; req; reply; trace; submitted_at = now (); attempts = 0 }
+    in
     p.next_id <- p.next_id + 1;
     Queue.add e p.queue;
     Metrics.incr p.m "service.requests_enqueued";
+    let depth = Queue.length p.queue in
+    if depth > p.queue_high_water then p.queue_high_water <- depth;
+    Metrics.set p.m "service.queue_depth" (float_of_int depth);
+    Metrics.set p.m "service.queue_high_water" (float_of_int p.queue_high_water);
+    if Log.enabled p.log Log.Debug then
+      Log.debug p.log ~trace "request enqueued"
+        [ ("id", Log.Int e.id); ("queue_depth", Log.Int depth) ];
     `Queued
   end
 
 let finish p e resp =
-  (match resp with
-  | Completed _ -> Metrics.incr p.m "service.requests_completed"
-  | Degraded _ -> Metrics.incr p.m "service.requests_degraded"
-  | Rejected _ -> Metrics.incr p.m "service.requests_rejected");
+  let outcome =
+    match resp with
+    | Completed _ ->
+        Metrics.incr p.m "service.requests_completed";
+        "completed"
+    | Degraded _ ->
+        Metrics.incr p.m "service.requests_degraded";
+        "degraded"
+    | Rejected _ ->
+        Metrics.incr p.m "service.requests_rejected";
+        "rejected"
+  in
+  let e2e = now () -. e.submitted_at in
+  Metrics.observe_sketch p.m "service.request_s" e2e;
+  if e2e > p.po.slow_request_s then
+    Log.warn p.log ~trace:e.trace "slow request"
+      [
+        ("id", Log.Int e.id);
+        ("outcome", Log.Str outcome);
+        ("seconds", Log.Float e2e);
+        ("threshold_s", Log.Float p.po.slow_request_s);
+        ("attempts", Log.Int e.attempts);
+      ]
+  else if Log.enabled p.log Log.Info then
+    Log.info p.log ~trace:e.trace "request finished"
+      [
+        ("id", Log.Int e.id);
+        ("outcome", Log.Str outcome);
+        ("seconds", Log.Float e2e);
+      ];
   e.reply resp
 
 (* A redispatch burns one attempt; past the budget the request degrades
@@ -537,6 +611,9 @@ let redispatch p e reason =
          (Printf.sprintf "request failed after %d attempt(s): %s" e.attempts reason))
   else begin
     Metrics.incr p.m "service.redispatches";
+    Log.warn p.log ~trace:e.trace "request re-queued"
+      [ ("id", Log.Int e.id); ("attempts", Log.Int e.attempts);
+        ("reason", Log.Str reason) ];
     Queue.add e p.queue
   end
 
@@ -550,6 +627,8 @@ let respawn p s =
   if s.respawns > p.po.max_respawns_per_slot then begin
     s.abandoned <- true;
     Metrics.incr p.m "pool.slots_abandoned";
+    Log.error p.log "worker slot abandoned: respawn budget exhausted"
+      [ ("worker", Log.Int s.sid); ("respawns", Log.Int s.respawns) ];
     if Array.for_all (fun s -> s.abandoned) p.slots then
       fail_all_queued p "no live workers remain"
   end
@@ -570,6 +649,16 @@ let respawn p s =
    attempt, and the slot respawns under a fresh epoch. *)
 let on_dead ?(fence = false) p s metric reason =
   Metrics.incr p.m metric;
+  Log.warn p.log
+    ?trace:(match s.running with Some e -> Some e.trace | None -> None)
+    "worker lost"
+    [
+      ("worker", Log.Int s.sid);
+      ("pid", Log.Int s.pid);
+      ("epoch", Log.Int s.epoch);
+      ("reason", Log.Str reason);
+      ("fenced", Log.Bool fence);
+    ];
   if fence then p.fenced <- (s.conn, s.epoch) :: p.fenced else Transport.close s.conn;
   s.alive <- false;
   (match s.running with
@@ -606,15 +695,26 @@ let dispatch_ready p =
         let disconnect = has_disconnect faults in
         s.running <- Some e;
         s.dispatched_at <- now ();
+        Metrics.observe_sketch p.m "service.queue_wait_s"
+          (s.dispatched_at -. e.submitted_at);
+        if Log.enabled p.log Log.Debug then
+          Log.debug p.log ~trace:e.trace "request dispatched"
+            [
+              ("id", Log.Int e.id);
+              ("worker", Log.Int s.sid);
+              ("attempt", Log.Int e.attempts);
+            ];
         match
           Transport.send s.conn ~kind:Transport.Kind.task ~epoch:s.epoch
+            ~trace:e.trace
             (task_payload ~reqid:e.id ~stall ~mute ~disconnect (encode_request e.req))
         with
         | _ -> Metrics.incr p.m "service.requests_dispatched"
         | exception Transport.Error _ ->
             on_dead p s "pool.worker_disconnects" "worker connection died at dispatch"
       end)
-    p.slots
+    p.slots;
+  Metrics.set p.m "service.queue_depth" (float_of_int (Queue.length p.queue))
 
 let apply_reply p ~slot ~epoch ~is_error payload =
   match parse_reply payload with
@@ -633,6 +733,8 @@ let apply_reply p ~slot ~epoch ~is_error payload =
         | Some s -> (
             let e = Option.get s.running in
             s.running <- None;
+            Metrics.observe_sketch p.m "service.dispatch_s"
+              (now () -. s.dispatched_at);
             if is_error then begin
               (* A worker-side failure is deterministic — retrying on
                  another worker would fail identically. Degrade. *)
@@ -704,6 +806,7 @@ let reap_exited p =
 
 let pool_step p ~timeout =
   if p.closed then invalid_arg "Service.pool_step: pool is shut down";
+  Metrics.set p.m "service.uptime_seconds" (now () -. p.started_at);
   dispatch_ready p;
   let fds = open_coordinator_fds p in
   let readable =
@@ -797,6 +900,329 @@ let shutdown_pool ?(drain_deadline = 30.0) p =
     p.pids <- []
   end
 
+
+(* ------------------------------------------------------------------ *)
+(* Live stats snapshot (the Stats admin request)                       *)
+(* ------------------------------------------------------------------ *)
+
+type worker_stat = {
+  w_slot : int;
+  w_pid : int;
+  w_state : string; (* "idle" | "busy" | "abandoned" *)
+  w_epoch : int;
+  w_respawns : int;
+  w_trace : int64; (* trace of the running request; 0L when idle *)
+}
+
+type latency_stat = {
+  l_count : int;
+  l_total : float;
+  l_mean : float;
+  l_min : float;
+  l_max : float;
+  l_p50 : float;
+  l_p90 : float;
+  l_p99 : float;
+}
+
+type stats = {
+  uptime_s : float;
+  queue_depth : int;
+  queue_high_water : int;
+  queue_capacity : int;
+  workers : worker_stat list;
+  counters : (string * int) list;
+  latencies : (string * latency_stat) list;
+  log_tail : string list;
+}
+
+let stats_schema = "dstress-stats/1"
+
+let latency_of_sketch sk =
+  let q p = Sketch.quantile_or ~default:0.0 sk p in
+  {
+    l_count = Sketch.count sk;
+    l_total = Sketch.total sk;
+    l_mean = Sketch.mean sk;
+    l_min = Sketch.min_value sk;
+    l_max = Sketch.max_value sk;
+    l_p50 = q 0.5;
+    l_p90 = q 0.9;
+    l_p99 = q 0.99;
+  }
+
+let pool_stats p =
+  let counters =
+    List.filter_map
+      (fun name ->
+        match Metrics.find p.m name with
+        | Some (Metrics.Counter c) -> Some (name, c)
+        | _ -> None)
+      (Metrics.names p.m)
+  in
+  let latencies =
+    List.filter_map
+      (fun name ->
+        match Metrics.find p.m name with
+        | Some (Metrics.Quantiles sk) -> Some (name, latency_of_sketch sk)
+        | _ -> None)
+      (Metrics.names p.m)
+  in
+  let workers =
+    Array.to_list p.slots
+    |> List.map (fun s ->
+           {
+             w_slot = s.sid;
+             w_pid = s.pid;
+             w_state =
+               (if s.abandoned then "abandoned"
+                else if s.running <> None then "busy"
+                else "idle");
+             w_epoch = s.epoch;
+             w_respawns = s.respawns;
+             w_trace =
+               (match s.running with Some e -> e.trace | None -> 0L);
+           })
+  in
+  {
+    uptime_s = now () -. p.started_at;
+    queue_depth = Queue.length p.queue;
+    queue_high_water = p.queue_high_water;
+    queue_capacity = p.po.queue_depth;
+    workers;
+    counters;
+    latencies;
+    log_tail = List.map Log.render (Log.tail ~max:32 p.log);
+  }
+
+let trace_hex t = Printf.sprintf "%Lx" t
+
+let worker_stat_to_json w =
+  Json.Obj
+    [
+      ("slot", Json.Int w.w_slot);
+      ("pid", Json.Int w.w_pid);
+      ("state", Json.Str w.w_state);
+      ("epoch", Json.Int w.w_epoch);
+      ("respawns", Json.Int w.w_respawns);
+      ("trace", Json.Str (trace_hex w.w_trace));
+    ]
+
+let latency_stat_to_json l =
+  Json.Obj
+    [
+      ("count", Json.Int l.l_count);
+      ("total", Json.Num l.l_total);
+      ("mean", Json.Num l.l_mean);
+      ("min", Json.Num l.l_min);
+      ("max", Json.Num l.l_max);
+      ("p50", Json.Num l.l_p50);
+      ("p90", Json.Num l.l_p90);
+      ("p99", Json.Num l.l_p99);
+    ]
+
+let stats_to_json st =
+  Json.Obj
+    [
+      ("schema", Json.Str stats_schema);
+      ("uptime_s", Json.Num st.uptime_s);
+      ( "queue",
+        Json.Obj
+          [
+            ("depth", Json.Int st.queue_depth);
+            ("high_water", Json.Int st.queue_high_water);
+            ("capacity", Json.Int st.queue_capacity);
+          ] );
+      ("workers", Json.List (List.map worker_stat_to_json st.workers));
+      ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) st.counters));
+      ( "latencies",
+        Json.Obj (List.map (fun (k, l) -> (k, latency_stat_to_json l)) st.latencies)
+      );
+      ("log_tail", Json.List (List.map (fun l -> Json.Str l) st.log_tail));
+    ]
+
+let stats_of_json j =
+  let ( let* ) = Result.bind in
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let int_field name j =
+    match Json.member name j with
+    | Some (Json.Int i) -> Ok i
+    | _ -> err "stats: missing int field %S" name
+  in
+  let num_field name j =
+    match Json.member name j with
+    | Some (Json.Num f) -> Ok f
+    | Some (Json.Int i) -> Ok (float_of_int i)
+    | _ -> err "stats: missing number field %S" name
+  in
+  let str_field name j =
+    match Json.member name j with
+    | Some (Json.Str v) -> Ok v
+    | _ -> err "stats: missing string field %S" name
+  in
+  let rec map_result f = function
+    | [] -> Ok []
+    | x :: rest ->
+        let* y = f x in
+        let* ys = map_result f rest in
+        Ok (y :: ys)
+  in
+  let* tag = str_field "schema" j in
+  if tag <> stats_schema then err "unsupported stats schema %S" tag
+  else
+    let* uptime_s = num_field "uptime_s" j in
+    let* queue =
+      match Json.member "queue" j with
+      | Some q -> Ok q
+      | None -> err "stats: missing field %S" "queue"
+    in
+    let* queue_depth = int_field "depth" queue in
+    let* queue_high_water = int_field "high_water" queue in
+    let* queue_capacity = int_field "capacity" queue in
+    let* workers =
+      match Json.member "workers" j with
+      | Some (Json.List ws) ->
+          map_result
+            (fun w ->
+              let* w_slot = int_field "slot" w in
+              let* w_pid = int_field "pid" w in
+              let* w_state = str_field "state" w in
+              let* w_epoch = int_field "epoch" w in
+              let* w_respawns = int_field "respawns" w in
+              let* hex = str_field "trace" w in
+              let* w_trace =
+                match Int64.of_string_opt ("0x" ^ hex) with
+                | Some t -> Ok t
+                | None -> err "stats: bad trace %S" hex
+              in
+              Ok { w_slot; w_pid; w_state; w_epoch; w_respawns; w_trace })
+            ws
+      | _ -> err "stats: missing list field %S" "workers"
+    in
+    let* counters =
+      match Json.member "counters" j with
+      | Some (Json.Obj kvs) ->
+          map_result
+            (function
+              | k, Json.Int v -> Ok (k, v)
+              | k, _ -> err "stats: counter %S is not an int" k)
+            kvs
+      | _ -> err "stats: missing object field %S" "counters"
+    in
+    let* latencies =
+      match Json.member "latencies" j with
+      | Some (Json.Obj kvs) ->
+          map_result
+            (fun (k, l) ->
+              let* l_count = int_field "count" l in
+              let* l_total = num_field "total" l in
+              let* l_mean = num_field "mean" l in
+              let* l_min = num_field "min" l in
+              let* l_max = num_field "max" l in
+              let* l_p50 = num_field "p50" l in
+              let* l_p90 = num_field "p90" l in
+              let* l_p99 = num_field "p99" l in
+              Ok (k, { l_count; l_total; l_mean; l_min; l_max; l_p50; l_p90; l_p99 }))
+            kvs
+      | _ -> err "stats: missing object field %S" "latencies"
+    in
+    let* log_tail =
+      match Json.member "log_tail" j with
+      | Some (Json.List ls) ->
+          map_result
+            (function
+              | Json.Str l -> Ok l
+              | _ -> err "stats: log_tail entry is not a string")
+            ls
+      | _ -> err "stats: missing list field %S" "log_tail"
+    in
+    Ok
+      {
+        uptime_s;
+        queue_depth;
+        queue_high_water;
+        queue_capacity;
+        workers;
+        counters;
+        latencies;
+        log_tail;
+      }
+
+let encode_stats st = Bytes.of_string (Json.to_string (stats_to_json st))
+
+let decode_stats b =
+  match Json.parse (Bytes.to_string b) with
+  | Error e -> Error ("stats: " ^ e)
+  | Ok j -> stats_of_json j
+
+(* Prometheus text exposition: every name is sanitized to
+   [a-zA-Z0-9_] under a dstress_ prefix; quantile sketches become
+   summary-style rows. The output is deterministic given the snapshot
+   (sorted metric names, fixed float format). *)
+let prom_name name =
+  "dstress_"
+  ^ String.map
+      (fun c ->
+        match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c | _ -> '_')
+      name
+
+let prom_float f = Printf.sprintf "%.9g" f
+
+let stats_prometheus st =
+  let b = Buffer.create 1024 in
+  let line fmt =
+    Printf.ksprintf
+      (fun l ->
+        Buffer.add_string b l;
+        Buffer.add_char b '\n')
+      fmt
+  in
+  line "# dstress daemon live stats (scrape of the Stats admin request)";
+  line "dstress_uptime_seconds %s" (prom_float st.uptime_s);
+  line "dstress_queue_depth %d" st.queue_depth;
+  line "dstress_queue_high_water %d" st.queue_high_water;
+  line "dstress_queue_capacity %d" st.queue_capacity;
+  List.iter
+    (fun w ->
+      line "dstress_worker_up{worker=\"%d\",pid=\"%d\",state=\"%s\"} %d" w.w_slot
+        w.w_pid w.w_state
+        (if w.w_state = "abandoned" then 0 else 1);
+      line "dstress_worker_respawns{worker=\"%d\"} %d" w.w_slot w.w_respawns)
+    st.workers;
+  List.iter (fun (k, v) -> line "%s %d" (prom_name k) v) st.counters;
+  List.iter
+    (fun (k, l) ->
+      let n = prom_name k in
+      line "%s{quantile=\"0.5\"} %s" n (prom_float l.l_p50);
+      line "%s{quantile=\"0.9\"} %s" n (prom_float l.l_p90);
+      line "%s{quantile=\"0.99\"} %s" n (prom_float l.l_p99);
+      line "%s_sum %s" n (prom_float l.l_total);
+      line "%s_count %d" n l.l_count)
+    st.latencies;
+  if st.log_tail <> [] then begin
+    line "# log tail:";
+    List.iter (fun l -> line "# %s" l) st.log_tail
+  end;
+  Buffer.contents b
+
+let fetch_stats ?(timeout = 10.0) conn =
+  ignore (Transport.send conn ~kind:Transport.Kind.stats ~epoch:0 Bytes.empty);
+  let deadline = now () +. timeout in
+  let rec await () =
+    let remaining = deadline -. now () in
+    if remaining <= 0.0 then
+      raise (Transport.Error (Transport.Timeout "stats: no reply"))
+    else
+      match Transport.recv conn ~timeout:remaining with
+      | None -> await ()
+      | Some fr when fr.Transport.kind = Transport.Kind.stats_reply -> (
+          match decode_stats fr.Transport.payload with
+          | Ok st -> st
+          | Error e -> raise (Transport.Error (Transport.Integrity e)))
+      | Some _ -> await ()
+  in
+  await ()
+
 (* ------------------------------------------------------------------ *)
 (* Server                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -815,8 +1241,9 @@ type client = {
   mutable dead : bool;
 }
 
-let serve ?(pool_opts = default_pool_opts) ?(ready = fun ~addr:_ -> ())
-    ?(stop = fun () -> false) ~handler ~listener ~addr () =
+let serve ?(pool_opts = default_pool_opts) ?(log = Log.nop)
+    ?(ready = fun ~addr:_ -> ()) ?(stop = fun () -> false) ~handler ~listener ~addr
+    () =
   let clients : client list ref = ref [] in
   let listener_open = ref true in
   (* The respawn path forks mid-service: children must drop the listener
@@ -826,7 +1253,9 @@ let serve ?(pool_opts = default_pool_opts) ?(ready = fun ~addr:_ -> ())
     @ List.filter_map (fun c -> if c.dead then None else Some (Transport.fd c.cconn)) !clients
   in
   (* Workers fork here — before any Domain.spawn in this process. *)
-  let pool = create_pool ~opts:pool_opts ~fork_fds ~handler () in
+  let pool = create_pool ~opts:pool_opts ~log ~fork_fds ~handler () in
+  Log.info log "daemon listening"
+    [ ("addr", Log.Str addr); ("workers", Log.Int pool_opts.workers) ];
   let draining = ref false in
   let install signal =
     match Sys.signal signal (Sys.Signal_handle (fun _ -> draining := true)) with
@@ -878,6 +1307,17 @@ let serve ?(pool_opts = default_pool_opts) ?(ready = fun ~addr:_ -> ())
       | None -> continue_ := false
       | Some fr when fr.Transport.kind = Transport.Kind.request ->
           handle_request c fr.Transport.payload
+      | Some fr when fr.Transport.kind = Transport.Kind.stats -> (
+          (* Admin request: always answered, even while draining or with a
+             clearing request in flight on this connection. *)
+          match
+            Transport.send c.cconn ~kind:Transport.Kind.stats_reply ~epoch:0
+              (encode_stats (pool_stats pool))
+          with
+          | _ -> ()
+          | exception Transport.Error _ ->
+              c.dead <- true;
+              Transport.close c.cconn)
       | Some _ -> ()
       | exception Transport.Error _ ->
           continue_ := false;
@@ -892,6 +1332,7 @@ let serve ?(pool_opts = default_pool_opts) ?(ready = fun ~addr:_ -> ())
         if stop () then draining := true;
         if !draining && !listener_open then begin
           listener_open := false;
+          Log.info log "daemon draining: listener closed" [];
           close_quietly listener
         end;
         let client_fds =
@@ -913,7 +1354,7 @@ let serve ?(pool_opts = default_pool_opts) ?(ready = fun ~addr:_ -> ())
           | fdesc, _ ->
               (try Unix.setsockopt fdesc Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
               let cconn =
-                Transport.of_fd ~metrics:(pool_metrics pool)
+                Transport.of_fd ~metrics:(pool_metrics pool) ~log
                   ~read_deadline:pool.po.io_deadline ~write_deadline:pool.po.io_deadline
                   fdesc
               in

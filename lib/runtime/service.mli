@@ -113,17 +113,21 @@ type pool_opts = {
           request *)
   max_respawns_per_slot : int;  (** then the slot is abandoned *)
   max_attempts_per_request : int;  (** then the request degrades *)
+  slow_request_s : float;
+      (** end-to-end latency above which a finished request logs at
+          [Warn] instead of [Info] (the slow-request log) *)
 }
 
 val default_pool_opts : pool_opts
 (** 2 workers, queue depth 64, 50 ms heartbeats, phi 8, 10 s io
     deadline, 20 ms poll, 120 s request deadline, 2 respawns per slot,
-    3 attempts per request. *)
+    3 attempts per request, 5 s slow-request threshold. *)
 
 type pool
 
 val create_pool :
   ?opts:pool_opts ->
+  ?log:Dstress_obs.Log.t ->
   ?fork_fds:(unit -> Unix.file_descr list) ->
   handler:(request -> summary) ->
   unit ->
@@ -137,11 +141,27 @@ val create_pool :
     the worker. [fork_fds] (consulted at every fork, including respawns)
     names descriptors the embedding process holds — listener, client
     connections — that children must close; SIGPIPE is set to ignore so
-    a write racing a worker death stays a typed [Closed] error. *)
+    a write racing a worker death stays a typed [Closed] error.
+
+    [log] (default {!Dstress_obs.Log.nop}) receives the pool's
+    wall-domain lifecycle events — spawn/respawn/abandon, suspicion and
+    fencing, per-request enqueue/dispatch/finish (the per-request lines
+    at [Debug], completions at [Info], failures and slow requests at
+    [Warn]/[Error]) — every line stamped with the request's trace ID.
+    The same logger is inherited by the forked workers and threaded into
+    their transports. *)
 
 val pool_metrics : pool -> Dstress_obs.Obs.Metrics.t
 (** Wall-domain supervision counters ([service.*], [pool.*],
-    [transport.*]) — never merged into any request's tick-domain Obs. *)
+    [transport.*]) plus the latency sketches ([service.queue_wait_s],
+    [service.dispatch_s], [service.request_s]) and queue/uptime gauges
+    ([service.queue_depth], [service.queue_high_water],
+    [service.uptime_seconds]) — never merged into any request's
+    tick-domain Obs. *)
+
+val pool_log : pool -> Dstress_obs.Log.t
+(** The logger given at {!create_pool} ({!Dstress_obs.Log.nop} by
+    default); its ring tail feeds {!pool_stats}. *)
 
 val set_pool_fault_source :
   pool -> (request_index:int -> worker:int -> Dstress_faults.Fault.fault list) -> unit
@@ -178,6 +198,76 @@ val shutdown_pool : ?drain_deadline:float -> pool -> unit
     shutdown message), then stop workers: shutdown frames, a grace
     period, SIGKILL stragglers, reap every child. Idempotent. *)
 
+(** {1 Live stats}
+
+    A point-in-time snapshot of the daemon's wall-domain state, served
+    over the wire as the [Stats] admin request ({!Transport.Kind.stats}
+    / [stats_reply], JSON payload) and rendered either as JSON
+    ({!stats_to_json}) or Prometheus text ({!stats_prometheus}). *)
+
+type worker_stat = {
+  w_slot : int;  (** slot index, stable across respawns *)
+  w_pid : int;
+  w_state : string;  (** ["idle" | "busy" | "abandoned"] *)
+  w_epoch : int;  (** current fencing epoch *)
+  w_respawns : int;
+  w_trace : int64;  (** trace of the running request; [0L] when idle *)
+}
+
+(** Flattened quantile-sketch summary: exact count/total/mean/min/max,
+    p50/p90/p99 within {!Dstress_obs.Sketch.default_alpha} relative
+    error ([0.] when empty). *)
+type latency_stat = {
+  l_count : int;
+  l_total : float;
+  l_mean : float;
+  l_min : float;
+  l_max : float;
+  l_p50 : float;
+  l_p90 : float;
+  l_p99 : float;
+}
+
+type stats = {
+  uptime_s : float;
+  queue_depth : int;
+  queue_high_water : int;  (** max depth observed since startup *)
+  queue_capacity : int;
+  workers : worker_stat list;  (** one per slot, in slot order *)
+  counters : (string * int) list;
+      (** every wall-domain counter ([service.*], [pool.*],
+          [transport.*]), sorted by name *)
+  latencies : (string * latency_stat) list;
+      (** every latency sketch, sorted by name *)
+  log_tail : string list;  (** rendered tail of the log ring, oldest first *)
+}
+
+val pool_stats : pool -> stats
+(** Snapshot the pool now. Cheap (no locking beyond the log ring). *)
+
+val stats_schema : string
+(** ["dstress-stats/1"], the [schema] tag of the JSON encoding. *)
+
+val stats_to_json : stats -> Dstress_obs.Json.t
+val stats_of_json : Dstress_obs.Json.t -> (stats, string) result
+
+val encode_stats : stats -> bytes
+(** The wire payload of a [stats_reply] frame: the JSON document,
+    deterministic for a given snapshot. *)
+
+val decode_stats : bytes -> (stats, string) result
+
+val stats_prometheus : stats -> string
+(** Prometheus text exposition: [dstress_]-prefixed sanitized names,
+    per-worker labeled gauges, summary-style quantile rows
+    ([..{quantile="0.5"} v] plus [_sum]/[_count]), and the log tail as
+    trailing comment lines. *)
+
+val fetch_stats : ?timeout:float -> Transport.t -> stats
+(** Client side of the [Stats] admin request ([timeout] default 10 s,
+    raising {!Transport.Error} on timeout or an undecodable reply).
+    Works on the same connection as {!call}, even mid-drain. *)
+
 (** {1 Server} *)
 
 type listen_addr =
@@ -192,6 +282,7 @@ val bind_listener : listen_addr -> Unix.file_descr * string
 
 val serve :
   ?pool_opts:pool_opts ->
+  ?log:Dstress_obs.Log.t ->
   ?ready:(addr:string -> unit) ->
   ?stop:(unit -> bool) ->
   handler:(request -> summary) ->
@@ -208,7 +299,11 @@ val serve :
     connection. SIGTERM/SIGINT (or [stop ()] returning true) starts a
     graceful drain: stop accepting, finish queued and in-flight
     requests, reply to their clients, shut the pool down, restore the
-    signal handlers and return. [ready] is called once listening. *)
+    signal handlers and return. [ready] is called once listening.
+    [Stats] admin frames are answered on any client connection at any
+    time — including while draining and while a clearing request is in
+    flight on that connection. [log] is passed to the pool
+    ({!create_pool}) and also receives server-level events. *)
 
 val call : ?timeout:float -> Transport.t -> request -> response
 (** Client side: send one request frame and decode the matching response

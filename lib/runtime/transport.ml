@@ -2,6 +2,7 @@ module Crc32 = Dstress_util.Crc32
 module Prng = Dstress_util.Prng
 module Fault = Dstress_faults.Fault
 module Metrics = Dstress_obs.Obs.Metrics
+module Log = Dstress_obs.Log
 
 type error = Timeout of string | Closed of string | Integrity of string
 
@@ -17,13 +18,19 @@ let () =
     | Error e -> Some ("Transport.Error (" ^ error_message e ^ ")")
     | _ -> None)
 
-type frame = { kind : int; epoch : int; seq : int64; payload : bytes }
+type frame = {
+  kind : int;
+  epoch : int;
+  seq : int64;
+  trace : int64;  (* request trace ID; 0L = none *)
+  payload : bytes;
+}
 
 type action = Pass | Stall of float | Sever
 
 let magic = "DSTR"
-let version = 1
-let header_bytes = 28
+let version = 2
+let header_bytes = 36
 let max_payload = 1 lsl 28 (* 256 MB: anything bigger is a framing bug *)
 
 type t = {
@@ -31,10 +38,11 @@ type t = {
   read_deadline : float;
   write_deadline : float;
   m : Metrics.t;
+  log : Log.t;
   retain : bool;
   mutable next_seq : int64;
   mutable delivered : int64; (* highest seq handed to the application *)
-  mutable sent : (int64 * (int * int * bytes)) list; (* retained, newest first *)
+  mutable sent : (int64 * (int * int * int64 * bytes)) list; (* retained, newest first *)
   mutable hook : (kind:int -> seq:int64 -> action) option;
   mutable closed : bool;
 }
@@ -43,14 +51,15 @@ let fd t = t.fdesc
 let metrics t = t.m
 let last_delivered t = t.delivered
 
-let of_fd ?(metrics = Metrics.create ()) ?(read_deadline = 10.0) ?(write_deadline = 10.0)
-    ?(retain = false) fdesc =
+let of_fd ?(metrics = Metrics.create ()) ?(log = Log.nop) ?(read_deadline = 10.0)
+    ?(write_deadline = 10.0) ?(retain = false) fdesc =
   Unix.set_nonblock fdesc;
   {
     fdesc;
     read_deadline;
     write_deadline;
     m = metrics;
+    log;
     retain;
     next_seq = 0L;
     delivered = -1L;
@@ -67,10 +76,10 @@ let close t =
 
 let set_fault_hook t h = t.hook <- Some h
 
-let pair ?metrics ?read_deadline ?write_deadline () =
+let pair ?metrics ?log ?read_deadline ?write_deadline () =
   let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (of_fd ?metrics ?read_deadline ?write_deadline a,
-   of_fd ?metrics ?read_deadline ?write_deadline b)
+  (of_fd ?metrics ?log ?read_deadline ?write_deadline a,
+   of_fd ?metrics ?log ?read_deadline ?write_deadline b)
 
 let listen ~path =
   (try Unix.unlink path with Unix.Unix_error _ -> ());
@@ -125,7 +134,7 @@ let select_w fds timeout =
   | _, w, _ -> w
   | exception Unix.Unix_error (EINTR, _, _) -> []
 
-let accept ?metrics ?read_deadline ?write_deadline ?retain ~deadline lfd =
+let accept ?metrics ?log ?read_deadline ?write_deadline ?retain ~deadline lfd =
   let until = Unix.gettimeofday () +. deadline in
   let rec wait () =
     let remaining = until -. Unix.gettimeofday () in
@@ -135,25 +144,35 @@ let accept ?metrics ?read_deadline ?write_deadline ?retain ~deadline lfd =
   wait ();
   let fdesc, _ = Unix.accept lfd in
   set_nodelay_if_inet fdesc;
-  of_fd ?metrics ?read_deadline ?write_deadline ?retain fdesc
+  of_fd ?metrics ?log ?read_deadline ?write_deadline ?retain fdesc
 
 (* One bounded-retry connect loop for both address families; only the
    socket domain, target address and the set of transient errnos differ.
    Jittered exponential backoff: base * 2^i * (0.5 + u). *)
-let connect_retry ~metrics ?read_deadline ?write_deadline ?retain ~attempts ~backoff
-    ~jitter_seed ~domain ~addr ~transient ~describe () =
+let connect_retry ~metrics ?(log = Log.nop) ?read_deadline ?write_deadline ?retain
+    ~attempts ~backoff ~jitter_seed ~domain ~addr ~transient ~describe () =
   let prng = Prng.create (Int64.of_int (Hashtbl.hash ("transport-jitter", jitter_seed))) in
   let rec go i =
     Metrics.incr metrics "transport.connect_attempts";
     let fdesc = Unix.socket domain Unix.SOCK_STREAM 0 in
     match Unix.connect fdesc addr with
     | () ->
-        if i > 0 then Metrics.incr metrics "transport.reconnects";
+        if i > 0 then begin
+          Metrics.incr metrics "transport.reconnects";
+          Log.info log "transport connected after retries"
+            [ ("target", Log.Str describe); ("attempts", Log.Int (i + 1)) ]
+        end;
         set_nodelay_if_inet fdesc;
-        of_fd ~metrics ?read_deadline ?write_deadline ?retain fdesc
+        of_fd ~metrics ~log ?read_deadline ?write_deadline ?retain fdesc
     | exception Unix.Unix_error (e, _, _) when transient e ->
         close_quietly fdesc;
         Metrics.incr metrics "transport.connect_failures";
+        Log.warn log "transport connect failed"
+          [
+            ("target", Log.Str describe);
+            ("attempt", Log.Int (i + 1));
+            ("error", Log.Str (Unix.error_message e));
+          ];
         if i + 1 >= attempts then
           raise (Error (Timeout (Printf.sprintf "connect %s: %d attempts" describe attempts)));
         let sleep = backoff *. (2.0 ** float_of_int i) *. (0.5 +. Prng.float prng) in
@@ -167,19 +186,19 @@ let connect_retry ~metrics ?read_deadline ?write_deadline ?retain ~attempts ~bac
   in
   go 0
 
-let connect ?(metrics = Metrics.create ()) ?read_deadline ?write_deadline ?retain
+let connect ?(metrics = Metrics.create ()) ?log ?read_deadline ?write_deadline ?retain
     ?(attempts = 8) ?(backoff = 0.01) ?(jitter_seed = 0) ~path () =
-  connect_retry ~metrics ?read_deadline ?write_deadline ?retain ~attempts ~backoff
+  connect_retry ~metrics ?log ?read_deadline ?write_deadline ?retain ~attempts ~backoff
     ~jitter_seed ~domain:Unix.PF_UNIX ~addr:(Unix.ADDR_UNIX path)
     ~transient:(function
       | Unix.ECONNREFUSED | Unix.ENOENT | Unix.EAGAIN | Unix.EINTR -> true
       | _ -> false)
     ~describe:path ()
 
-let connect_tcp ?(metrics = Metrics.create ()) ?read_deadline ?write_deadline ?retain
-    ?(attempts = 8) ?(backoff = 0.01) ?(jitter_seed = 0) ~host ~port () =
+let connect_tcp ?(metrics = Metrics.create ()) ?log ?read_deadline ?write_deadline
+    ?retain ?(attempts = 8) ?(backoff = 0.01) ?(jitter_seed = 0) ~host ~port () =
   let addr = resolve_inet host in
-  connect_retry ~metrics ?read_deadline ?write_deadline ?retain ~attempts ~backoff
+  connect_retry ~metrics ?log ?read_deadline ?write_deadline ?retain ~attempts ~backoff
     ~jitter_seed ~domain:Unix.PF_INET
     ~addr:(Unix.ADDR_INET (addr, port))
     ~transient:(function
@@ -202,6 +221,7 @@ let read_exact t buf len ~deadline ~what =
     let remaining = deadline -. now () in
     if remaining <= 0.0 then begin
       Metrics.incr t.m "transport.timeouts";
+      Log.warn t.log "transport read timeout" [ ("what", Log.Str what) ];
       raise (Error (Timeout what))
     end;
     match select_r [ t.fdesc ] remaining with
@@ -223,6 +243,7 @@ let write_all t buf ~what =
     let remaining = deadline -. now () in
     if remaining <= 0.0 then begin
       Metrics.incr t.m "transport.timeouts";
+      Log.warn t.log "transport write timeout" [ ("what", Log.Str what) ];
       raise (Error (Timeout what))
     end;
     match select_w [ t.fdesc ] remaining with
@@ -239,7 +260,7 @@ let write_all t buf ~what =
 (* Framing                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let encode_frame ~kind ~epoch ~seq payload =
+let encode_frame ~kind ~epoch ~seq ?(trace = 0L) payload =
   let len = Bytes.length payload in
   let b = Bytes.create (header_bytes + len) in
   Bytes.blit_string magic 0 b 0 4;
@@ -248,22 +269,24 @@ let encode_frame ~kind ~epoch ~seq payload =
   Bytes.set_uint16_le b 6 0;
   Bytes.set_int32_le b 8 (Int32.of_int epoch);
   Bytes.set_int64_le b 12 seq;
-  Bytes.set_int32_le b 20 (Int32.of_int len);
-  Bytes.set_int32_le b 24 (Crc32.digest payload);
+  Bytes.set_int64_le b 20 trace;
+  Bytes.set_int32_le b 28 (Int32.of_int len);
+  Bytes.set_int32_le b 32 (Crc32.digest payload);
   Bytes.blit payload 0 b header_bytes len;
   b
 
-let write_frame t ~kind ~epoch ~seq payload =
-  let b = encode_frame ~kind ~epoch ~seq payload in
+let write_frame t ~kind ~epoch ~seq ?trace payload =
+  let b = encode_frame ~kind ~epoch ~seq ?trace payload in
   write_all t b ~what:"send";
   Metrics.incr t.m "transport.frames_sent";
   Metrics.incr t.m ~by:(Bytes.length b) "transport.bytes_sent"
 
-let send t ~kind ~epoch payload =
+let send t ~kind ~epoch ?(trace = 0L) payload =
   if t.closed then raise (Error (Closed "send on closed connection"));
   let seq = t.next_seq in
   t.next_seq <- Int64.add seq 1L;
-  if t.retain then t.sent <- (seq, (kind, epoch, Bytes.copy payload)) :: t.sent;
+  if t.retain then
+    t.sent <- (seq, (kind, epoch, trace, Bytes.copy payload)) :: t.sent;
   (match t.hook with
   | None -> ()
   | Some h -> (
@@ -280,7 +303,7 @@ let send t ~kind ~epoch payload =
           Metrics.incr t.m "transport.severs_injected";
           close t;
           raise (Error (Closed "injected sever"))));
-  write_frame t ~kind ~epoch ~seq payload;
+  write_frame t ~kind ~epoch ~seq ~trace payload;
   seq
 
 (* One raw frame off the wire, however long since the last one — the
@@ -295,30 +318,42 @@ let read_frame t ~first_timeout =
       read_exact t hdr header_bytes ~deadline ~what:"recv header";
       if Bytes.sub_string hdr 0 4 <> magic then begin
         Metrics.incr t.m "transport.framing_errors";
+        Log.error t.log "transport framing error" [ ("what", Log.Str "bad magic") ];
         raise (Error (Integrity "bad magic"))
       end;
       if Bytes.get_uint8 hdr 4 <> version then begin
         Metrics.incr t.m "transport.framing_errors";
+        Log.error t.log "transport framing error"
+          [
+            ("what", Log.Str "bad version");
+            ("got", Log.Int (Bytes.get_uint8 hdr 4));
+            ("want", Log.Int version);
+          ];
         raise (Error (Integrity "bad version"))
       end;
       let kind = Bytes.get_uint8 hdr 5 in
       let epoch = Int32.to_int (Bytes.get_int32_le hdr 8) in
       let seq = Bytes.get_int64_le hdr 12 in
-      let len = Int32.to_int (Bytes.get_int32_le hdr 20) in
-      let crc = Bytes.get_int32_le hdr 24 in
+      let trace = Bytes.get_int64_le hdr 20 in
+      let len = Int32.to_int (Bytes.get_int32_le hdr 28) in
+      let crc = Bytes.get_int32_le hdr 32 in
       if len < 0 || len > max_payload then begin
         Metrics.incr t.m "transport.framing_errors";
+        Log.error t.log "transport framing error"
+          [ ("what", Log.Str "bad length"); ("len", Log.Int len) ];
         raise (Error (Integrity (Printf.sprintf "frame length %d" len)))
       end;
       let payload = Bytes.create len in
       read_exact t payload len ~deadline ~what:"recv payload";
       if Crc32.digest payload <> crc then begin
         Metrics.incr t.m "transport.crc_failures";
+        Log.error t.log "transport crc mismatch" ~trace
+          [ ("kind", Log.Str (Printf.sprintf "%d" kind)); ("len", Log.Int len) ];
         raise (Error (Integrity "crc mismatch"))
       end;
       Metrics.incr t.m "transport.frames_received";
       Metrics.incr t.m ~by:(header_bytes + len) "transport.bytes_received";
-      Some { kind; epoch; seq; payload }
+      Some { kind; epoch; seq; trace; payload }
 
 let kind_ack = 0
 
@@ -345,6 +380,8 @@ let recv t ~timeout =
           (* Idempotent dedup: a retransmitted frame that already made it
              through is acknowledged by silence, never re-applied. *)
           Metrics.incr t.m "transport.dup_dropped";
+          Log.debug t.log "transport duplicate dropped" ~trace:f.trace
+            [ ("seq", Log.Int (Int64.to_int f.seq)) ];
           loop ()
       | Some f ->
           t.delivered <- f.seq;
@@ -375,9 +412,9 @@ let retransmit_from t upto =
     List.filter (fun (s, _) -> Int64.compare s upto > 0) t.sent |> List.rev
   in
   List.iter
-    (fun (seq, (kind, epoch, payload)) ->
+    (fun (seq, (kind, epoch, trace, payload)) ->
       Metrics.incr t.m "transport.retransmits";
-      write_frame t ~kind ~epoch ~seq payload)
+      write_frame t ~kind ~epoch ~seq ~trace payload)
     pending;
   List.length pending
 
@@ -393,6 +430,8 @@ module Kind = struct
   let echo = 8
   let request = 9
   let response = 10
+  let stats = 11
+  let stats_reply = 12
 
   let name = function
     | 0 -> "ack"
@@ -406,5 +445,7 @@ module Kind = struct
     | 8 -> "echo"
     | 9 -> "request"
     | 10 -> "response"
+    | 11 -> "stats"
+    | 12 -> "stats_reply"
     | k -> "kind:" ^ string_of_int k
 end

@@ -13,11 +13,12 @@
     {b Frame format} (little-endian):
     {v
       magic   4 B  "DSTR"
-      version 1 B  (1)
+      version 1 B  (2)
       kind    1 B  caller-defined message kind
       pad     2 B  zero
       epoch   4 B  fencing epoch (see Distributed)
       seq     8 B  per-connection monotone sequence number
+      trace   8 B  request trace ID (0 = none; see Service)
       length  4 B  payload bytes
       crc32   4 B  CRC-32 (IEEE) of the payload
       payload
@@ -48,7 +49,15 @@ exception Error of error
 
 val error_message : error -> string
 
-type frame = { kind : int; epoch : int; seq : int64; payload : bytes }
+type frame = {
+  kind : int;
+  epoch : int;
+  seq : int64;
+  trace : int64;
+      (** request trace ID propagated end-to-end by the {!Service} layer;
+          [0L] when the frame belongs to no request *)
+  payload : bytes;
+}
 
 type action =
   | Pass
@@ -59,6 +68,7 @@ type t
 
 val of_fd :
   ?metrics:Dstress_obs.Obs.Metrics.t ->
+  ?log:Dstress_obs.Log.t ->
   ?read_deadline:float ->
   ?write_deadline:float ->
   ?retain:bool ->
@@ -68,10 +78,13 @@ val of_fd :
     [write_deadline] (default 10 s) bound every frame-level operation —
     a peer that stalls mid-frame surfaces as [Error (Timeout _)], never a
     hang. With [retain] (default false) sent frames are kept until
-    {!ack}ed so {!retransmit_from} can replay them after a reconnect. *)
+    {!ack}ed so {!retransmit_from} can replay them after a reconnect.
+    [log] (default {!Dstress_obs.Log.nop}) receives wall-domain events for
+    timeouts, framing/CRC violations and duplicate drops. *)
 
 val pair :
   ?metrics:Dstress_obs.Obs.Metrics.t ->
+  ?log:Dstress_obs.Log.t ->
   ?read_deadline:float ->
   ?write_deadline:float ->
   unit ->
@@ -90,6 +103,7 @@ val listen_tcp : ?backlog:int -> host:string -> port:int -> unit -> Unix.file_de
 
 val accept :
   ?metrics:Dstress_obs.Obs.Metrics.t ->
+  ?log:Dstress_obs.Log.t ->
   ?read_deadline:float ->
   ?write_deadline:float ->
   ?retain:bool ->
@@ -102,6 +116,7 @@ val accept :
 
 val connect :
   ?metrics:Dstress_obs.Obs.Metrics.t ->
+  ?log:Dstress_obs.Log.t ->
   ?read_deadline:float ->
   ?write_deadline:float ->
   ?retain:bool ->
@@ -120,6 +135,7 @@ val connect :
 
 val connect_tcp :
   ?metrics:Dstress_obs.Obs.Metrics.t ->
+  ?log:Dstress_obs.Log.t ->
   ?read_deadline:float ->
   ?write_deadline:float ->
   ?retain:bool ->
@@ -139,9 +155,10 @@ val connect_tcp :
 val set_fault_hook : t -> (kind:int -> seq:int64 -> action) -> unit
 (** Installed hook is consulted before every frame write. *)
 
-val send : t -> kind:int -> epoch:int -> bytes -> int64
+val send : t -> kind:int -> epoch:int -> ?trace:int64 -> bytes -> int64
 (** Frame and write the payload within the write deadline; returns the
-    assigned sequence number. *)
+    assigned sequence number. [trace] (default [0L]) is carried verbatim
+    in the frame header and delivered in {!recv}'s [frame.trace]. *)
 
 val recv : t -> timeout:float -> frame option
 (** Next fresh frame within [timeout] seconds, or [None]. Duplicate
@@ -193,6 +210,12 @@ module Kind : sig
 
   val response : int
   (** a [DSTRESS-REQ/1] response (daemon -> client) *)
+
+  val stats : int
+  (** admin: ask a daemon for its live {!Service.stats} snapshot *)
+
+  val stats_reply : int
+  (** admin: the JSON-encoded stats snapshot (daemon -> client) *)
 
   val name : int -> string
 end

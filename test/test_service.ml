@@ -668,15 +668,16 @@ let test_daemon_malformed_and_garbage () =
   (* A corrupted CRC is an integrity violation: same drop. *)
   let conn = connect_unix path in
   let payload = Service.encode_request base_request in
-  let frame = Bytes.create (28 + Bytes.length payload) in
+  let frame = Bytes.create (36 + Bytes.length payload) in
   Bytes.blit_string "DSTR" 0 frame 0 4;
-  Bytes.set frame 4 '\001';
+  Bytes.set frame 4 '\002';
   Bytes.set frame 5 (Char.chr Transport.Kind.request);
-  Bytes.set_int32_le frame 12 0l;
-  Bytes.set_int64_le frame 16 0L;
-  Bytes.set_int32_le frame 20 (Int32.of_int (Bytes.length payload));
-  Bytes.set_int32_le frame 24 0xDEADl (* wrong CRC *);
-  Bytes.blit payload 0 frame 28 (Bytes.length payload);
+  Bytes.set_int32_le frame 8 0l (* epoch *);
+  Bytes.set_int64_le frame 12 0L (* seq *);
+  Bytes.set_int64_le frame 20 0L (* trace *);
+  Bytes.set_int32_le frame 28 (Int32.of_int (Bytes.length payload));
+  Bytes.set_int32_le frame 32 0xDEADl (* wrong CRC *);
+  Bytes.blit payload 0 frame 36 (Bytes.length payload);
   ignore (Unix.write (Transport.fd conn) frame 0 (Bytes.length frame));
   (match Transport.recv conn ~timeout:10.0 with
   | exception Transport.Error (Transport.Closed _) -> ()
